@@ -1,0 +1,112 @@
+"""Engine operation benchmarks (real wall-clock, multiple rounds).
+
+Unlike the figure benches (which measure *virtual* time inside the
+simulation), these measure the raw Python cost of the storage engine's hot
+paths — useful to catch performance regressions in the MVCC machinery that
+every simulated experiment sits on.
+"""
+
+import pytest
+
+from repro.storage import Column, StorageEngine, TableSchema
+from repro.storage.writeset import OpKind, WriteOp, WriteSet
+
+
+def make_engine(rows=1_000):
+    engine = StorageEngine()
+    engine.create_table(
+        TableSchema(
+            "t",
+            [Column("id", int), Column("v", int), Column("s", str)],
+            "id",
+            indexes=["v"],
+        )
+    )
+    for key in range(1, rows + 1):
+        engine.database.load_row("t", {"id": key, "v": key % 50, "s": "x" * 50})
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return make_engine()
+
+
+def test_point_reads(benchmark, engine):
+    def read_100():
+        txn = engine.begin()
+        for key in range(1, 101):
+            engine.read(txn, "t", key)
+        engine.abort(txn)
+
+    benchmark(read_100)
+
+
+def test_update_commit_cycle(benchmark):
+    engine = make_engine()
+    counter = iter(range(1, 10_000_000))
+
+    def one_update():
+        key = next(counter) % 1_000 + 1
+        txn = engine.begin()
+        engine.update(txn, "t", key, {"v": 1})
+        engine.commit(txn)
+
+    benchmark(one_update)
+
+
+def test_refresh_application(benchmark):
+    engine = make_engine()
+    version = iter(range(1, 10_000_000))
+
+    def one_refresh():
+        v = next(version)
+        key = v % 1_000 + 1
+        ws = WriteSet([
+            WriteOp("t", key, OpKind.UPDATE, {"id": key, "v": v % 50, "s": "y" * 50})
+        ])
+        engine.apply_refresh(ws, v)
+
+    benchmark(one_refresh)
+
+
+def test_index_lookup(benchmark, engine):
+    def lookups():
+        txn = engine.begin()
+        for value in range(50):
+            engine.lookup(txn, "t", "v", value)
+        engine.abort(txn)
+
+    benchmark(lookups)
+
+
+def test_writeset_conflict_check(benchmark):
+    sets = [
+        WriteSet(
+            WriteOp("t", (i * 7 + j) % 500, OpKind.UPDATE, {"id": j, "v": 1})
+            for j in range(8)
+        )
+        for i in range(100)
+    ]
+
+    def all_pairs():
+        count = 0
+        for i, a in enumerate(sets):
+            for b in sets[i + 1:]:
+                if a.conflicts_with(b):
+                    count += 1
+        return count
+
+    benchmark(all_pairs)
+
+
+def test_snapshot_scan(benchmark):
+    engine = make_engine(rows=2_000)
+
+    def scan():
+        txn = engine.begin()
+        rows = engine.scan(txn, "t", predicate=lambda r: r["v"] > 25)
+        engine.abort(txn)
+        return len(rows)
+
+    benchmark(scan)

@@ -1,0 +1,21 @@
+"""Table I — database and table version maintenance.
+
+Regenerates the paper's Table I exactly: the version evolution for
+transactions T1..T6 over tables A, B, C, plus the SC-FINE vs SC-COARSE
+start requirement for T6.
+"""
+
+from conftest import emit
+
+from repro.bench import table1
+
+
+def test_table1(benchmark):
+    rendered = benchmark(table1)
+    emit("table1", rendered)
+    # The published rows (whitespace-insensitive).
+    rows = [" ".join(line.split()) for line in rendered.splitlines()]
+    assert "T5 B,C 5 1 5 5" in rows
+    assert "T6 A 6 6 5 5" in rows
+    assert "SC-FINE V_local >= 1" in rendered
+    assert "SC-COARSE V_local >= 5" in rendered

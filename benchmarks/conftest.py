@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, prints the
+rows/series the paper reports and archives them under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and archive it to benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

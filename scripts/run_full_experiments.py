@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Regenerate every figure at paper scale (``quick=False``).
+
+The pytest benches run the quick configurations (tens of seconds each); this
+script runs the full sweeps — 1..8 replicas, longer warm-up and measurement
+windows, larger data sets — and writes the outputs to
+``benchmarks/results/full_<name>.txt``.  Expect tens of minutes of wall
+clock in total.
+
+Usage::
+
+    python scripts/run_full_experiments.py [--seed N] [--only fig3,fig5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import experiments  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"full_{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print()
+
+
+def run(name: str, seed: int) -> None:
+    started = time.time()
+    if name == "table1":
+        emit("table1", experiments.table1())
+    elif name == "fig3":
+        emit("fig3", experiments.fig3(quick=False, seed=seed).render())
+    elif name == "fig4":
+        results = experiments.fig4(quick=False, seed=seed)
+        emit("fig4", "\n\n".join(r.render() for r in results.values()))
+    elif name == "fig5":
+        results = experiments.fig5(quick=False, seed=seed)
+        emit("fig5", "\n\n".join(
+            results[mix][metric].render()
+            for mix in results for metric in ("throughput", "response")
+        ))
+    elif name == "fig6":
+        results = experiments.fig6(quick=False, seed=seed)
+        emit("fig6", "\n\n".join(r.render() for r in results.values()))
+    elif name == "fig7":
+        results = experiments.fig7(quick=False, seed=seed)
+        emit("fig7", "\n\n".join(r.render() for r in results.values()))
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    print(f"[{name} done in {time.time() - started:.0f}s]\n", file=sys.stderr)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--only", default="table1,fig3,fig4,fig5,fig6,fig7",
+        help="comma-separated subset to run",
+    )
+    args = parser.parse_args()
+    for name in args.only.split(","):
+        run(name.strip(), args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Experiment harness: configs, runner, and the paper's figures/tables."""
+
+from .experiments import (
+    LEVELS,
+    BreakdownResult,
+    SeriesResult,
+    clear_cache,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+)
+from .runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    ReplicatedResult,
+    run_experiment,
+    run_replicated,
+)
+
+__all__ = [
+    "LEVELS",
+    "BreakdownResult",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ReplicatedResult",
+    "SeriesResult",
+    "clear_cache",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "run_experiment",
+    "run_replicated",
+    "table1",
+]

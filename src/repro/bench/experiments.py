@@ -1,0 +1,368 @@
+"""The paper's experiments: one function per table/figure.
+
+Every function regenerates the corresponding artifact's rows/series:
+
+* :func:`table1` — Table I, database and table version maintenance;
+* :func:`fig3`   — Figure 3, micro-benchmark throughput vs update mix;
+* :func:`fig4`   — Figure 4, latency breakdown at 25 % / 100 % updates;
+* :func:`fig5`   — Figure 5, TPC-W throughput and response time, scaled load;
+* :func:`fig6`   — Figure 6, TPC-W synchronization delay, scaled load;
+* :func:`fig7`   — Figure 7, TPC-W response time, fixed load.
+
+``quick=True`` (the default, used by the pytest benches) shrinks the
+warm-up/measurement windows and the sweep so a figure regenerates in tens of
+seconds; ``quick=False`` runs the paper-scale sweep used for EXPERIMENTS.md.
+Results from the TPC-W sweeps are cached per-process so Figures 5 and 6
+share their runs, as they do in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..core.consistency import ConsistencyLevel
+from ..core.versions import VersionTracker
+from ..metrics.report import format_breakdown, format_series, format_table
+from ..metrics.stages import StageTimings
+from ..workloads.microbench import MicroBenchmark
+from ..workloads.tpcw import TPCWBenchmark
+from .runner import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = [
+    "LEVELS",
+    "SeriesResult",
+    "BreakdownResult",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "clear_cache",
+]
+
+#: the four configurations the paper evaluates, in its plotting order
+LEVELS = (
+    ConsistencyLevel.SC_COARSE,
+    ConsistencyLevel.SC_FINE,
+    ConsistencyLevel.SESSION,
+    ConsistencyLevel.EAGER,
+)
+
+#: clients per replica for the scaled-load TPC-W experiments (Section V-C.1)
+TPCW_CLIENTS_PER_REPLICA = {"browsing": 10, "shopping": 8, "ordering": 5}
+
+
+@dataclass
+class SeriesResult:
+    """One figure's data: x-axis plus one series per configuration."""
+
+    title: str
+    x_label: str
+    x_values: list
+    series: dict[str, list[float]]
+
+    def render(self, floatfmt: str = "{:.1f}", chart: bool = True) -> str:
+        """The paper-style data table, optionally followed by an ASCII plot
+        of the same series (the figure itself)."""
+        table = format_series(
+            self.x_label, self.x_values, self.series, title=self.title,
+            floatfmt=floatfmt,
+        )
+        if not chart:
+            return table
+        from ..metrics.ascii_chart import line_chart
+
+        plot = line_chart(
+            [float(x) for x in self.x_values],
+            self.series,
+            x_label=self.x_label,
+        )
+        return table + "\n\n" + plot
+
+    def value(self, label: str, x) -> float:
+        """Convenience lookup: the series value at one x point."""
+        return self.series[label][self.x_values.index(x)]
+
+
+@dataclass
+class BreakdownResult:
+    """Figure-4 style data: per-configuration stage breakdowns."""
+
+    title: str
+    breakdowns: dict[str, StageTimings]
+    read_only_breakdowns: dict[str, StageTimings] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [format_breakdown(self.breakdowns, title=self.title)]
+        if self.read_only_breakdowns:
+            parts.append(
+                format_breakdown(
+                    self.read_only_breakdowns,
+                    title=f"{self.title} — read-only transactions",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+def table1() -> str:
+    """Reproduce Table I: version maintenance for T1..T6 on tables A, B, C.
+
+    Deterministic — exercises :class:`VersionTracker` exactly as the paper's
+    walkthrough does, then shows the SC-FINE vs SC-COARSE start version for
+    the final transaction T6 (which accesses table A only).
+    """
+    tracker = VersionTracker()
+    transactions = [
+        ("T1", {"A"}),
+        ("T2", {"B", "C"}),
+        ("T3", {"B"}),
+        ("T4", {"C"}),
+        ("T5", {"B", "C"}),
+        ("T6", {"A"}),
+    ]
+    rows = []
+    footer = ""
+    for name, tables in transactions:
+        if name == "T6":
+            # The paper's punchline: T6 accesses table A only, so SC-FINE
+            # lets it start at V_local >= V_A = 1 while SC-COARSE demands
+            # the full V_system = 5.
+            fine = tracker.start_version(ConsistencyLevel.SC_FINE, table_set=tables)
+            coarse = tracker.start_version(ConsistencyLevel.SC_COARSE)
+            footer = (
+                f"\nT6 (table A only) start requirement: SC-FINE V_local >= {fine}, "
+                f"SC-COARSE V_local >= {coarse}."
+            )
+        commit_version = tracker.v_system + 1
+        tracker.observe_commit(commit_version, tables)
+        rows.append(
+            [
+                name,
+                ",".join(sorted(tables)),
+                tracker.v_system,
+                tracker.table_version("A"),
+                tracker.table_version("B"),
+                tracker.table_version("C"),
+            ]
+        )
+    table = format_table(
+        ["Transaction", "Updated tables", "V_system", "V_A", "V_B", "V_C"],
+        rows,
+        title="Table I — database and table versions",
+    )
+    return table + footer
+
+
+# ---------------------------------------------------------------------------
+# Micro-benchmark (Figures 3 and 4)
+# ---------------------------------------------------------------------------
+
+def _micro_config(
+    level: ConsistencyLevel,
+    update_types: int,
+    quick: bool,
+    seed: int,
+    num_replicas: int = 8,
+    clients: int = 8,
+) -> ExperimentConfig:
+    rows = 1_000 if quick else 10_000
+    return ExperimentConfig(
+        workload_factory=lambda: MicroBenchmark(
+            update_types=update_types, rows_per_table=rows
+        ),
+        level=level,
+        num_replicas=num_replicas,
+        clients=clients,
+        warmup_ms=1_000.0 if quick else 10_000.0,
+        measure_ms=4_000.0 if quick else 30_000.0,
+        seed=seed,
+        label=f"micro-{update_types}/40-{level.label}",
+    )
+
+
+def fig3(
+    quick: bool = True,
+    seed: int = 0,
+    update_types: Optional[Sequence[int]] = None,
+) -> SeriesResult:
+    """Figure 3: micro-benchmark throughput vs update mix, 8 replicas."""
+    if update_types is None:
+        update_types = (0, 10, 20, 30, 40) if quick else (0, 5, 10, 15, 20, 25, 30, 35, 40)
+    series: dict[str, list[float]] = {level.label: [] for level in LEVELS}
+    for count in update_types:
+        for level in LEVELS:
+            result = run_experiment(_micro_config(level, count, quick, seed))
+            series[level.label].append(result.tps)
+    return SeriesResult(
+        title="Figure 3 — micro-benchmark throughput (TPS), 8 replicas",
+        x_label="update%",
+        x_values=[int(round(100 * c / 40)) for c in update_types],
+        series=series,
+    )
+
+
+def fig4(quick: bool = True, seed: int = 0) -> dict[str, BreakdownResult]:
+    """Figure 4: latency breakdown for the 25 % and 100 % update mixes."""
+    results: dict[str, BreakdownResult] = {}
+    for label, update_types in (("25% update mix", 10), ("100% update mix", 40)):
+        update_breakdowns: dict[str, StageTimings] = {}
+        read_breakdowns: dict[str, StageTimings] = {}
+        for level in LEVELS:
+            result = run_experiment(_micro_config(level, update_types, quick, seed))
+            update_breakdowns[level.label] = result.summary.update_breakdown
+            read_breakdowns[level.label] = result.summary.read_only_breakdown
+        results[label] = BreakdownResult(
+            title=f"Figure 4 — latency breakdown, {label} (update transactions, ms)",
+            breakdowns=update_breakdowns,
+            read_only_breakdowns=read_breakdowns,
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# TPC-W (Figures 5, 6 and 7)
+# ---------------------------------------------------------------------------
+
+_tpcw_cache: dict[tuple, ExperimentResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop the per-process TPC-W result cache."""
+    _tpcw_cache.clear()
+
+
+def _tpcw_run(
+    mix: str,
+    level: ConsistencyLevel,
+    num_replicas: int,
+    clients: int,
+    quick: bool,
+    seed: int,
+) -> ExperimentResult:
+    key = (mix, level, num_replicas, clients, quick, seed)
+    if key not in _tpcw_cache:
+        scale = 1 if quick else 2
+        config = ExperimentConfig(
+            workload_factory=lambda: TPCWBenchmark(
+                mix=mix,
+                num_items=300 * scale,
+                num_customers=200 * scale,
+                num_authors=100 * scale,
+            ),
+            level=level,
+            num_replicas=num_replicas,
+            clients=clients,
+            warmup_ms=3_000.0 if quick else 10_000.0,
+            measure_ms=12_000.0 if quick else 40_000.0,
+            seed=seed,
+            label=f"tpcw-{mix}-{level.label}-{num_replicas}r",
+        )
+        _tpcw_cache[key] = run_experiment(config)
+    return _tpcw_cache[key]
+
+
+def _replica_counts(quick: bool) -> list[int]:
+    return [1, 2, 4, 8] if quick else [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def fig5(
+    quick: bool = True,
+    seed: int = 0,
+    mixes: Sequence[str] = ("browsing", "shopping", "ordering"),
+) -> dict[str, dict[str, SeriesResult]]:
+    """Figure 5: TPC-W throughput and response time under scaled load.
+
+    Returns ``{mix: {"throughput": SeriesResult, "response": SeriesResult}}``
+    covering sub-figures (a)–(f).
+    """
+    counts = _replica_counts(quick)
+    results: dict[str, dict[str, SeriesResult]] = {}
+    for mix in mixes:
+        per_replica = TPCW_CLIENTS_PER_REPLICA[mix]
+        tps: dict[str, list[float]] = {level.label: [] for level in LEVELS}
+        resp: dict[str, list[float]] = {level.label: [] for level in LEVELS}
+        for n in counts:
+            for level in LEVELS:
+                run = _tpcw_run(mix, level, n, per_replica * n, quick, seed)
+                tps[level.label].append(run.tps)
+                resp[level.label].append(run.response_ms)
+        results[mix] = {
+            "throughput": SeriesResult(
+                title=f"Figure 5 — TPC-W {mix} mix throughput (TPS), scaled load",
+                x_label="replicas",
+                x_values=list(counts),
+                series=tps,
+            ),
+            "response": SeriesResult(
+                title=f"Figure 5 — TPC-W {mix} mix response time (ms), scaled load",
+                x_label="replicas",
+                x_values=list(counts),
+                series=resp,
+            ),
+        }
+    return results
+
+
+def fig6(
+    quick: bool = True,
+    seed: int = 0,
+    mixes: Sequence[str] = ("shopping", "ordering"),
+) -> dict[str, SeriesResult]:
+    """Figure 6: TPC-W synchronization delay under scaled load.
+
+    Synchronization delay is the synchronization *start* delay for
+    SC-COARSE/SC-FINE/SESSION and the *global commit* delay for EAGER.
+    Shares its runs with Figure 5.
+    """
+    counts = _replica_counts(quick)
+    results: dict[str, SeriesResult] = {}
+    for mix in mixes:
+        per_replica = TPCW_CLIENTS_PER_REPLICA[mix]
+        series: dict[str, list[float]] = {level.label: [] for level in LEVELS}
+        for n in counts:
+            for level in LEVELS:
+                run = _tpcw_run(mix, level, n, per_replica * n, quick, seed)
+                series[level.label].append(run.sync_delay_ms)
+        results[mix] = SeriesResult(
+            title=f"Figure 6 — TPC-W {mix} mix synchronization delay (ms)",
+            x_label="replicas",
+            x_values=list(counts),
+            series=series,
+        )
+    return results
+
+
+def fig7(
+    quick: bool = True,
+    seed: int = 0,
+    mixes: Sequence[str] = ("shopping", "ordering"),
+) -> dict[str, SeriesResult]:
+    """Figure 7: TPC-W response time under *fixed* load.
+
+    The client count stays at the single-replica level (10/8/5 per mix)
+    while replicas are added: replication now buys lower response time —
+    except for EAGER on the ordering mix, where more replicas mean a larger
+    global commit delay.
+    """
+    counts = _replica_counts(quick)
+    results: dict[str, SeriesResult] = {}
+    for mix in mixes:
+        clients = TPCW_CLIENTS_PER_REPLICA[mix]
+        series: dict[str, list[float]] = {level.label: [] for level in LEVELS}
+        for n in counts:
+            for level in LEVELS:
+                run = _tpcw_run(mix, level, n, clients, quick, seed)
+                series[level.label].append(run.response_ms)
+        results[mix] = SeriesResult(
+            title=f"Figure 7 — TPC-W {mix} mix response time (ms), fixed load",
+            x_label="replicas",
+            x_values=list(counts),
+            series=series,
+        )
+    return results

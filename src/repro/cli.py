@@ -1,0 +1,174 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig3 [--full] [--seed N]
+    python -m repro fig4 | fig5 | fig6 | fig7 [--full] [--seed N]
+    python -m repro audit [--level sc-fine] [--replicas 4] [--clients 16]
+    python -m repro levels
+
+``--full`` switches from the quick windows to the paper-scale sweeps
+(minutes instead of tens of seconds per figure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench import experiments
+from .core.consistency import ConsistencyLevel
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Strongly consistent replication for a bargain' "
+            "(ICDE 2010): regenerate the paper's tables and figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I — version maintenance walkthrough")
+
+    for figure in ("fig3", "fig4", "fig5", "fig6", "fig7"):
+        figure_parser = sub.add_parser(figure, help=f"regenerate {figure}")
+        figure_parser.add_argument(
+            "--full", action="store_true",
+            help="paper-scale sweep instead of the quick one",
+        )
+        figure_parser.add_argument("--seed", type=int, default=0)
+
+    audit = sub.add_parser(
+        "audit", help="run a loaded cluster and audit its consistency"
+    )
+    audit.add_argument(
+        "--level", default="sc-coarse",
+        choices=[level.value for level in ConsistencyLevel],
+    )
+    audit.add_argument(
+        "--workload", default="micro", choices=["micro", "tpcw", "tpcc"],
+    )
+    audit.add_argument("--replicas", type=int, default=4)
+    audit.add_argument("--clients", type=int, default=16)
+    audit.add_argument("--duration-ms", type=float, default=2_000.0)
+    audit.add_argument("--seed", type=int, default=0)
+
+    everything = sub.add_parser(
+        "all", help="regenerate Table I and every figure (quick scale)"
+    )
+    everything.add_argument("--full", action="store_true")
+    everything.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("levels", help="list the consistency configurations")
+    return parser
+
+
+def _run_figure(args) -> str:
+    quick = not args.full
+    if args.command == "fig3":
+        return experiments.fig3(quick=quick, seed=args.seed).render()
+    if args.command == "fig4":
+        results = experiments.fig4(quick=quick, seed=args.seed)
+        return "\n\n".join(res.render() for res in results.values())
+    if args.command == "fig5":
+        results = experiments.fig5(quick=quick, seed=args.seed)
+        return "\n\n".join(
+            results[mix][metric].render()
+            for mix in results
+            for metric in ("throughput", "response")
+        )
+    if args.command == "fig6":
+        results = experiments.fig6(quick=quick, seed=args.seed)
+        return "\n\n".join(res.render() for res in results.values())
+    results = experiments.fig7(quick=quick, seed=args.seed)
+    return "\n\n".join(res.render() for res in results.values())
+
+
+def _run_audit(args) -> str:
+    from .core.cluster import ClusterConfig, ReplicatedDatabase
+    from .histories import (
+        is_session_consistent,
+        is_strongly_consistent,
+        staleness_report,
+    )
+    from .metrics import MetricsCollector
+    from .workloads import MicroBenchmark, TPCCBenchmark, TPCWBenchmark
+
+    factories = {
+        "micro": lambda: MicroBenchmark(update_types=20, rows_per_table=300),
+        "tpcw": lambda: TPCWBenchmark(mix="shopping", num_items=300,
+                                      num_customers=200, num_authors=100),
+        "tpcc": lambda: TPCCBenchmark(num_warehouses=1,
+                                      districts_per_warehouse=8,
+                                      customers_per_district=20,
+                                      num_items=100),
+    }
+    level = ConsistencyLevel(args.level)
+    cluster = ReplicatedDatabase(
+        factories[args.workload](),
+        ClusterConfig(num_replicas=args.replicas, level=level, seed=args.seed),
+    )
+    collector = MetricsCollector()
+    cluster.add_clients(args.clients, collector)
+    cluster.run(args.duration_ms)
+    summary = collector.summary(duration_ms=args.duration_ms)
+    history = cluster.history
+    staleness = staleness_report(history)
+    lines = [
+        f"workload={args.workload} level={level.label} replicas={args.replicas} "
+        f"clients={args.clients} virtual-duration={args.duration_ms:.0f}ms",
+        f"throughput: {summary.tps:.1f} TPS, response {summary.mean_response_ms:.2f} ms, "
+        f"aborts {summary.aborted}",
+        f"strong consistency (observational): {is_strongly_consistent(history)}",
+        f"strong consistency (strict):        "
+        f"{is_strongly_consistent(history, observational=False)}",
+        f"session consistency:                {is_session_consistent(history)}",
+        f"snapshot staleness: mean {staleness['mean']:.2f}, "
+        f"max {staleness['max']:.0f} versions",
+    ]
+    return "\n".join(lines)
+
+
+def _run_levels() -> str:
+    lines = ["Consistency configurations:"]
+    for level in ConsistencyLevel:
+        traits = []
+        if level.is_strong:
+            traits.append("strong")
+        if level.is_lazy:
+            traits.append("lazy")
+        if level.uses_start_delay:
+            traits.append("start-delay")
+        lines.append(f"  {level.value:10s} ({level.label}) — {', '.join(traits) or '—'}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(experiments.table1())
+    elif args.command in ("fig3", "fig4", "fig5", "fig6", "fig7"):
+        print(_run_figure(args))
+    elif args.command == "all":
+        print(experiments.table1())
+        print()
+        for figure in ("fig3", "fig4", "fig5", "fig6", "fig7"):
+            args.command = figure
+            print(_run_figure(args))
+            print()
+    elif args.command == "audit":
+        print(_run_audit(args))
+    elif args.command == "levels":
+        print(_run_levels())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

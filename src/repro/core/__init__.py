@@ -1,0 +1,19 @@
+"""The paper's contribution: consistency configurations over lazy replication.
+
+Public API: build a :class:`ReplicatedDatabase` over a workload with one of
+the :class:`ConsistencyLevel` configurations, then drive it with sessions or
+closed-loop clients.
+"""
+
+from .cluster import ClusterConfig, ReplicatedDatabase
+from .consistency import ConsistencyLevel
+from .session import SyncSession
+from .versions import VersionTracker
+
+__all__ = [
+    "ClusterConfig",
+    "ConsistencyLevel",
+    "ReplicatedDatabase",
+    "SyncSession",
+    "VersionTracker",
+]

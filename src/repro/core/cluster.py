@@ -1,0 +1,250 @@
+"""The replicated database system — public entry point of the library.
+
+:class:`ReplicatedDatabase` wires the full prototype of Figure 2 together on
+the simulation substrate: N replicas (storage engine + proxy + CPU model), a
+certifier, a load balancer, the network fabric, and the configured
+consistency level.  Two ways to drive it:
+
+* **interactively** via :meth:`open_session` — a synchronous facade that
+  submits one transaction at a time and advances virtual time until the
+  response arrives (used by the examples and many tests);
+* **under load** via :meth:`add_clients` + :meth:`run` — closed-loop clients
+  measured by a :class:`~repro.metrics.collector.MetricsCollector` (used by
+  the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..histories.records import RunHistory
+from ..metrics.collector import MetricsCollector
+from ..middleware.certifier import Certifier
+from ..middleware.durability import DecisionLog
+from ..middleware.loadbalancer import LoadBalancer
+from ..middleware.perfmodel import (
+    CertifierPerformance,
+    PerformanceParams,
+    ReplicaPerformance,
+    draw_speed_factors,
+)
+from ..middleware.proxy import ReplicaProxy
+from ..sim.kernel import Environment
+from ..sim.network import LatencyModel, Network
+from ..sim.rng import RngRegistry
+from ..storage.database import Database
+from ..storage.engine import StorageEngine
+from ..workloads.base import Workload
+from ..workloads.clients import ClientPool
+from .consistency import ConsistencyLevel
+from .session import SyncSession
+
+__all__ = ["ClusterConfig", "ReplicatedDatabase"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of one replicated-database deployment."""
+
+    num_replicas: int = 3
+    level: ConsistencyLevel = ConsistencyLevel.SC_COARSE
+    seed: int = 0
+    #: override the workload's performance model
+    params: Optional[PerformanceParams] = None
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    record_history: bool = True
+    #: statement-side early-certification pre-check against committed rows
+    precheck_committed: bool = True
+    #: the early-certification mechanism as a whole (Section IV); the
+    #: ablation bench disables it
+    early_certification: bool = True
+    #: optional file sink for the certifier's durable decision log
+    log_path: Optional[str] = None
+    #: serializable certification: validate readsets at the certifier
+    #: (turns GSI into one-copy serializability at the cost of aborts)
+    certify_reads: bool = False
+    #: staleness allowance, in versions, for the RELAXED level
+    freshness_bound: int = 10
+    #: load balancer routing policy: least-active (the paper's), round-robin
+    #: or random
+    routing: str = "least-active"
+    #: periodic MVCC garbage collection at each replica (None = off)
+    vacuum_interval_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if self.num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+
+
+class ReplicatedDatabase:
+    """A fully wired multi-master replicated database."""
+
+    def __init__(self, workload: Workload, config: Optional[ClusterConfig] = None, **overrides):
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a ClusterConfig or keyword overrides, not both")
+        self.config = config
+        self.workload = workload
+        self.env = Environment()
+        self.rngs = RngRegistry(config.seed)
+        self.network = Network(self.env, self.rngs.stream("network"), config.latency)
+        self.templates = workload.catalog()
+        self.params = config.params or workload.performance_params()
+        self.history: Optional[RunHistory] = RunHistory() if config.record_history else None
+
+        self.replica_names = [f"replica-{i}" for i in range(config.num_replicas)]
+        self.replicas: dict[str, ReplicaProxy] = {}
+        speed_factors = draw_speed_factors(
+            self.params, self.rngs.stream("speed"), config.num_replicas
+        )
+        schemas = list(workload.schemas())
+        for name, speed in zip(self.replica_names, speed_factors):
+            database = Database(name=f"{name}-db")
+            for schema in schemas:
+                database.create_table(schema)
+            # Identical population on every copy: a fresh registry per
+            # replica replays the same "populate" stream.
+            workload.populate(database, RngRegistry(config.seed).stream("populate"))
+            if database.version != 0:
+                raise RuntimeError("populate() must not advance the database version")
+            engine = StorageEngine(database, name=f"{name}-engine")
+            perf = ReplicaPerformance(self.params, self.rngs.stream(f"perf:{name}"), speed)
+            self.replicas[name] = ReplicaProxy(
+                env=self.env,
+                network=self.network,
+                name=name,
+                engine=engine,
+                perf=perf,
+                level=config.level,
+                templates=self.templates,
+                precheck_committed=config.precheck_committed,
+                early_certification=config.early_certification,
+                certify_reads=config.certify_reads,
+                vacuum_interval_ms=config.vacuum_interval_ms,
+            )
+
+        self.certifier = Certifier(
+            env=self.env,
+            network=self.network,
+            perf=CertifierPerformance(self.params, self.rngs.stream("perf:certifier")),
+            replica_names=list(self.replica_names),
+            level=config.level,
+            log=DecisionLog(config.log_path),
+        )
+        self.load_balancer = LoadBalancer(
+            env=self.env,
+            network=self.network,
+            replica_names=list(self.replica_names),
+            level=config.level,
+            templates=self.templates,
+            history=self.history,
+            routing=config.routing,
+            rng=self.rngs.stream("lb-routing"),
+            freshness_bound=config.freshness_bound,
+        )
+        self._session_counter = 0
+        self.client_pool: Optional[ClientPool] = None
+
+    # -- level ---------------------------------------------------------------
+    @property
+    def level(self) -> ConsistencyLevel:
+        """The configured consistency level."""
+        return self.config.level
+
+    # -- interactive use ------------------------------------------------------
+    def open_session(self, session_id: Optional[str] = None) -> SyncSession:
+        """Open a synchronous client session (one transaction at a time)."""
+        if session_id is None:
+            self._session_counter += 1
+            session_id = f"session-{self._session_counter}"
+        return SyncSession(self, session_id)
+
+    # -- load generation -----------------------------------------------------
+    def add_clients(
+        self,
+        count: int,
+        collector: Optional[MetricsCollector] = None,
+        retry_aborts: bool = False,
+    ) -> MetricsCollector:
+        """Spawn ``count`` closed-loop clients; returns their collector."""
+        if collector is None:
+            collector = MetricsCollector()
+        if self.client_pool is None:
+            self.client_pool = ClientPool(
+                env=self.env,
+                network=self.network,
+                workload=self.workload,
+                collector=collector,
+                rngs=self.rngs,
+                retry_aborts=retry_aborts,
+            )
+        self.client_pool.spawn(count)
+        return collector
+
+    def run(self, until_ms: float) -> None:
+        """Advance virtual time to ``until_ms``."""
+        self.env.run(until=until_ms)
+
+    # -- inspection ----------------------------------------------------------
+    def replica(self, index_or_name) -> ReplicaProxy:
+        """Look up a replica by index or name."""
+        if isinstance(index_or_name, int):
+            return self.replicas[self.replica_names[index_or_name]]
+        return self.replicas[index_or_name]
+
+    def replica_versions(self) -> dict[str, int]:
+        """Each replica's current ``V_local``."""
+        return {name: proxy.v_local for name, proxy in self.replicas.items()}
+
+    @property
+    def commit_version(self) -> int:
+        """The certifier's ``V_commit`` — the global database version."""
+        return self.certifier.commit_version
+
+    def stats(self) -> dict:
+        """A structured snapshot of the cluster's health.
+
+        Per replica: ``V_local``, the refresh backlog, cumulative CPU busy
+        time and abort counters; plus the certifier's ``V_commit``,
+        replication horizon and decision counts, and the balancer's view.
+        Intended for monitoring loops and tests.
+        """
+        return {
+            "time_ms": self.env.now,
+            "level": self.config.level.label,
+            "commit_version": self.certifier.commit_version,
+            "replication_horizon": self.certifier.replication_horizon(),
+            "certified": self.certifier.certified_count,
+            "certification_aborts": self.certifier.abort_count,
+            "balancer": {
+                "v_system": self.load_balancer.v_system,
+                "outstanding": self.load_balancer.outstanding_count,
+            },
+            "replicas": {
+                name: {
+                    "v_local": proxy.v_local,
+                    "lag": self.certifier.commit_version - proxy.v_local,
+                    "pending_refresh": proxy.pending_refresh_count,
+                    "cpu_busy_ms": proxy.cpu.busy_slot_ms,
+                    "executed": proxy.executed_count,
+                    "committed": proxy.committed_count,
+                    "aborted": proxy.aborted_count,
+                    "early_aborts": proxy.early_abort_count,
+                    "crashed": proxy.crashed,
+                }
+                for name, proxy in self.replicas.items()
+            },
+        }
+
+    def quiesce(self, settle_ms: float = 50.0, max_wait_ms: float = 60_000.0) -> None:
+        """Advance time until all replicas have applied every committed
+        version (or ``max_wait_ms`` elapses).  Useful in tests/examples to
+        observe the fully propagated state."""
+        deadline = self.env.now + max_wait_ms
+        while self.env.now < deadline:
+            target = self.certifier.commit_version
+            if all(p.v_local >= target for p in self.replicas.values() if not p.crashed):
+                return
+            self.env.run(until=min(self.env.now + settle_ms, deadline))

@@ -1,0 +1,82 @@
+"""Consistency configurations.
+
+The four configurations the paper evaluates (Section IV), plus a deliberately
+weak baseline used to *demonstrate* strong-consistency violations:
+
+* :attr:`ConsistencyLevel.EAGER` — eager strong consistency: an update
+  transaction is acknowledged only after every replica has committed it
+  (global commit delay).
+* :attr:`ConsistencyLevel.SC_COARSE` — lazy coarse-grained strong
+  consistency: transactions are tagged with the global database version
+  ``V_system`` and delayed at the replica until ``V_local >= V_system``.
+* :attr:`ConsistencyLevel.SC_FINE` — lazy fine-grained strong consistency:
+  transactions are tagged with the highest version among the tables in their
+  table-set, so only the relevant updates must be applied before start.
+* :attr:`ConsistencyLevel.SESSION` — session consistency: transactions wait
+  only for the updates of *their own session's* previous transactions.
+* :attr:`ConsistencyLevel.BASELINE` — plain GSI with no start
+  synchronization.  Not in the paper's evaluation; it exists so the history
+  checkers can exhibit detectable strong-consistency violations.
+* :attr:`ConsistencyLevel.RELAXED` — the relaxed-currency model the paper
+  contrasts with (Bernstein et al. [6], Guo et al. [21]): each transaction
+  carries a freshness bound of *k* versions and is delayed only until
+  ``V_local >= V_system - k``.  Bound 0 degenerates to SC-COARSE; an
+  infinite bound degenerates to BASELINE.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ConsistencyLevel"]
+
+
+class ConsistencyLevel(enum.Enum):
+    """Which guarantee the replicated system enforces, and how."""
+
+    EAGER = "eager"
+    SC_COARSE = "sc-coarse"
+    SC_FINE = "sc-fine"
+    SESSION = "session"
+    BASELINE = "baseline"
+    RELAXED = "relaxed"
+
+    @property
+    def is_strong(self) -> bool:
+        """True for configurations that guarantee strong consistency."""
+        return self in (
+            ConsistencyLevel.EAGER,
+            ConsistencyLevel.SC_COARSE,
+            ConsistencyLevel.SC_FINE,
+        )
+
+    @property
+    def is_lazy(self) -> bool:
+        """True when update propagation is lazy (commit acks do not wait for
+        remote replicas)."""
+        return self is not ConsistencyLevel.EAGER
+
+    @property
+    def uses_start_delay(self) -> bool:
+        """True for configurations that may delay transaction start."""
+        return self in (
+            ConsistencyLevel.SC_COARSE,
+            ConsistencyLevel.SC_FINE,
+            ConsistencyLevel.SESSION,
+            ConsistencyLevel.RELAXED,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short label used in reports (matches the paper's legends)."""
+        return _LABELS[self]
+
+
+_LABELS = {
+    ConsistencyLevel.EAGER: "EAGER",
+    ConsistencyLevel.SC_COARSE: "SC-COARSE",
+    ConsistencyLevel.SC_FINE: "SC-FINE",
+    ConsistencyLevel.SESSION: "SESSION",
+    ConsistencyLevel.BASELINE: "BASELINE",
+    ConsistencyLevel.RELAXED: "RELAXED",
+}

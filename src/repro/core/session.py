@@ -1,0 +1,85 @@
+"""Synchronous client session facade.
+
+A :class:`SyncSession` lets ordinary Python code use the replicated database
+one transaction at a time: ``execute()`` submits a request through the load
+balancer and advances the simulation until the response arrives.  The
+session identifier is what the SESSION consistency level keys its version
+map on, so two sessions model two independent clients — including the
+paper's hidden-channel scenario (see ``examples/hidden_channel.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, TYPE_CHECKING
+
+from ..middleware.messages import ClientRequest, ClientResponse, next_request_id
+from ..storage.errors import TransactionAborted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import ReplicatedDatabase
+
+__all__ = ["SyncSession"]
+
+
+class SyncSession:
+    """One client session driving the simulation synchronously."""
+
+    def __init__(self, cluster: "ReplicatedDatabase", session_id: str):
+        self.cluster = cluster
+        self.session_id = session_id
+        self._endpoint = f"sync-{session_id}"
+        self._mailbox = cluster.network.register(self._endpoint)
+        self.last_response: Optional[ClientResponse] = None
+
+    def execute(
+        self,
+        template: str,
+        params: Optional[Mapping[str, Any]] = None,
+        limit_ms: float = 600_000.0,
+    ) -> ClientResponse:
+        """Run one transaction and return the full response.
+
+        Raises :class:`KeyError` for an unregistered template and
+        :class:`~repro.storage.errors.TransactionAborted` when the
+        transaction aborts (certification conflict, early certification or
+        replica failure).
+        """
+        if template not in self.cluster.templates:
+            raise KeyError(f"unknown transaction template {template!r}")
+        request = ClientRequest(
+            request_id=next_request_id(),
+            template=template,
+            params=dict(params or {}),
+            session_id=self.session_id,
+            reply_to=self._endpoint,
+            submit_time=self.cluster.env.now,
+        )
+        self.cluster.network.send(self._endpoint, "lb", request)
+        event = self._mailbox.receive()
+        response: ClientResponse = self.cluster.env.run_until_event(
+            event, limit=self.cluster.env.now + limit_ms
+        )
+        self.last_response = response
+        if not response.committed:
+            raise TransactionAborted(response.abort_reason or "aborted")
+        return response
+
+    def try_execute(
+        self,
+        template: str,
+        params: Optional[Mapping[str, Any]] = None,
+        limit_ms: float = 600_000.0,
+    ) -> ClientResponse:
+        """Like :meth:`execute` but returns the response instead of raising
+        on abort."""
+        try:
+            return self.execute(template, params, limit_ms)
+        except TransactionAborted:
+            assert self.last_response is not None
+            return self.last_response
+
+    def result(
+        self, template: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        """Run a transaction and return just the template body's value."""
+        return self.execute(template, params).result

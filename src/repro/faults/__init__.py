@@ -1,0 +1,5 @@
+"""Fault injection: the crash-recovery failure model of Section IV."""
+
+from .injector import FaultInjector
+
+__all__ = ["FaultInjector"]

@@ -1,0 +1,117 @@
+"""Fault injection under the crash-recovery failure model (Section IV).
+
+The paper assumes hosts fail independently by crashing and subsequently
+recover.  :class:`FaultInjector` drives that model against a running
+cluster:
+
+* **replica crash** — the replica loses its soft state (pending refresh
+  writesets, active transactions); its durable database survives.  The load
+  balancer stops routing to it and fails its in-flight requests; the
+  certifier can exclude it from propagation and EAGER counting (without the
+  exclusion, EAGER blocks on the dead replica — the availability weakness of
+  the eager approach, which the tests demonstrate).
+* **replica recovery** — the replica rejoins, asks the certifier to replay
+  the decisions it missed (the certifier's durable log is the recovery
+  source, per the Tashkent design the paper adopts), catches up through the
+  normal refresh-application path and resumes serving.
+* **certifier failover** — the certifier is deterministic and lightweight,
+  so it is replicated for availability with the state-machine approach: the
+  standby holds a copy of the decision log and takes over the certifier
+  role; proxies re-point to it and in-flight certifications abort cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.cluster import ReplicatedDatabase
+from ..middleware.certifier import Certifier
+from ..middleware.durability import DecisionLog
+from ..middleware.perfmodel import CertifierPerformance
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Crash and recover components of a live cluster."""
+
+    def __init__(self, cluster: ReplicatedDatabase):
+        self.cluster = cluster
+        self.crashed_replicas: set[str] = set()
+        self._failover_count = 0
+
+    # -- replica faults ------------------------------------------------------
+    def crash_replica(self, name: str, exclude_from_membership: bool = True) -> None:
+        """Crash one replica.
+
+        ``exclude_from_membership=False`` leaves the dead replica in the
+        certifier's view — under EAGER, update transactions then block until
+        the replica recovers, reproducing the eager approach's availability
+        problem.
+        """
+        if name in self.crashed_replicas:
+            raise ValueError(f"replica {name!r} is already crashed")
+        proxy = self.cluster.replicas[name]
+        self.cluster.network.take_down(name)
+        proxy.crash()
+        self.cluster.load_balancer.replica_down(name)
+        if exclude_from_membership:
+            self.cluster.certifier.remove_replica(name)
+        self.crashed_replicas.add(name)
+
+    def recover_replica(self, name: str) -> None:
+        """Recover a crashed replica: rejoin membership and replay the
+        certifier's log from the replica's durable version."""
+        if name not in self.crashed_replicas:
+            raise ValueError(f"replica {name!r} is not crashed")
+        proxy = self.cluster.replicas[name]
+        self.cluster.certifier.add_replica(name, applied_version=proxy.engine.version)
+        proxy.recover()
+        self.cluster.load_balancer.replica_up(name)
+        self.crashed_replicas.discard(name)
+
+    def surviving_replicas(self) -> list[str]:
+        """Names of replicas currently up."""
+        return [
+            name
+            for name in self.cluster.replica_names
+            if name not in self.crashed_replicas
+        ]
+
+    # -- certifier failover ----------------------------------------------------
+    def failover_certifier(self) -> Certifier:
+        """Crash the certifier and promote a standby.
+
+        The standby is initialised from a copy of the decision log (state
+        machine replication: the certifier is deterministic, so replaying
+        the decision sequence reconstructs its exact state).  Proxies
+        re-point to the standby; certifications in flight at the old
+        certifier abort cleanly at their origin replicas.
+        """
+        old = self.cluster.certifier
+        self.cluster.network.take_down(old.name)
+        old.halt()  # crash-stop: in-flight certifications decide nothing
+
+        self._failover_count += 1
+        new_name = f"certifier-standby-{self._failover_count}"
+        standby_log = old.log.clone()
+        standby = Certifier(
+            env=self.cluster.env,
+            network=self.cluster.network,
+            perf=CertifierPerformance(
+                self.cluster.params,
+                self.cluster.rngs.stream(f"perf:{new_name}"),
+            ),
+            replica_names=list(old.replica_names),
+            level=old.level,
+            name=new_name,
+            log=standby_log,
+        )
+        standby.applied_versions.update(old.applied_versions)
+        standby._departed_versions.update(old._departed_versions)
+
+        for proxy in self.cluster.replicas.values():
+            proxy.certifier_name = new_name
+            proxy.fail_pending_certifications("certifier failover")
+        self.cluster.certifier = standby
+        return standby

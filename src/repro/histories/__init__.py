@@ -1,0 +1,60 @@
+"""Histories and consistency checking.
+
+Run histories record what the replicated system externally did; the checkers
+decide whether a run satisfied strong consistency (Definition 1), session
+consistency (Definition 2), and related properties.  The ``abstract`` module
+provides operation-level histories and isolation checkers; ``examples``
+reproduces the paper's H1/H2/H3 from Section II.
+"""
+
+from .abstract import (
+    AbstractHistory,
+    Op,
+    OpKind,
+    abort,
+    begin,
+    commit,
+    is_conflict_serializable,
+    is_snapshot_isolated,
+    is_strongly_consistent as is_abstract_strongly_consistent,
+    read,
+    strong_consistency_violations as abstract_strong_consistency_violations,
+    write,
+)
+from .checkers import (
+    Violation,
+    is_session_consistent,
+    is_strongly_consistent,
+    session_consistency_violations,
+    session_monotonicity_violations,
+    staleness_report,
+    strong_consistency_violations,
+)
+from .generator import interleaved_history, serial_history
+from .records import RunHistory, TxnRecord
+
+__all__ = [
+    "AbstractHistory",
+    "Op",
+    "OpKind",
+    "RunHistory",
+    "TxnRecord",
+    "Violation",
+    "abort",
+    "abstract_strong_consistency_violations",
+    "begin",
+    "commit",
+    "is_abstract_strongly_consistent",
+    "is_conflict_serializable",
+    "is_session_consistent",
+    "is_snapshot_isolated",
+    "interleaved_history",
+    "is_strongly_consistent",
+    "read",
+    "serial_history",
+    "session_consistency_violations",
+    "session_monotonicity_violations",
+    "staleness_report",
+    "strong_consistency_violations",
+    "write",
+]

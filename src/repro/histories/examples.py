@@ -1,0 +1,67 @@
+"""The paper's example histories H1, H2 and H3 (Section II).
+
+Two transactions execute on two distinct replicas:
+
+* **H1** — T2 starts before T1's update of X reaches its replica and reads
+  the old value.  Serializable (equivalent serial history {T2, T1}) but
+  *not* strongly consistent: the clients submitted T1 first.
+* **H2** — the strongly consistent execution: the replica is updated with
+  T1's effects before T2 starts, so T2 reads the latest value.  Equivalent
+  to the serial history {T1, T2}.
+* **H3** — classic write skew: both transactions read the latest values of
+  X and Y, so the history is strongly consistent and snapshot isolated, but
+  it is *not* serializable.
+"""
+
+from __future__ import annotations
+
+from .abstract import AbstractHistory, begin, commit, read, write
+
+__all__ = ["h1", "h2", "h3"]
+
+
+def h1() -> AbstractHistory:
+    """H1 = {B1, W1(X=1), C1, B2, R2(X=0), C2}"""
+    return AbstractHistory(
+        [
+            begin("T1"),
+            write("T1", "X", 1),
+            commit("T1"),
+            begin("T2"),
+            read("T2", "X", 0),
+            commit("T2"),
+        ]
+    )
+
+
+def h2() -> AbstractHistory:
+    """H2 = {B1, W1(X=1), C1, B2, R2(X=1), C2}"""
+    return AbstractHistory(
+        [
+            begin("T1"),
+            write("T1", "X", 1),
+            commit("T1"),
+            begin("T2"),
+            read("T2", "X", 1),
+            commit("T2"),
+        ]
+    )
+
+
+def h3() -> AbstractHistory:
+    """H3 = {B1, R1(X=0), R1(Y=0), B2, R2(X=0), R2(Y=0), W1(X=1), W2(Y=1),
+    C1, C2}"""
+    return AbstractHistory(
+        [
+            begin("T1"),
+            read("T1", "X", 0),
+            read("T1", "Y", 0),
+            begin("T2"),
+            read("T2", "X", 0),
+            read("T2", "Y", 0),
+            write("T1", "X", 1),
+            write("T2", "Y", 1),
+            commit("T1"),
+            commit("T2"),
+        ]
+    )

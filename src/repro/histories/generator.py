@@ -1,0 +1,93 @@
+"""Random abstract-history generators.
+
+Utilities for producing :class:`~repro.histories.abstract.AbstractHistory`
+instances for testing and exploration:
+
+* :func:`serial_history` — a correct single-copy serial execution (every
+  read returns the latest committed value).  Serial histories are the
+  "ground truth" against which the checkers' positive answers are tested.
+* :func:`interleaved_history` — an arbitrary valid interleaving with
+  arbitrary read values; useful for probing the checkers' negative answers
+  and containment properties.
+
+Both take any object with the small random interface of
+:class:`repro.sim.rng.Rng` (``randint``, ``choice``, ``random``), so they
+compose with the library's deterministic streams.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .abstract import AbstractHistory, begin, commit, read, write
+
+__all__ = ["serial_history", "interleaved_history"]
+
+DEFAULT_ITEMS = ("X", "Y", "Z")
+
+
+def serial_history(
+    rng,
+    num_txns: int = 4,
+    max_ops: int = 4,
+    items: Sequence[str] = DEFAULT_ITEMS,
+) -> AbstractHistory:
+    """A serial, single-copy execution over ``items`` (initial value 0)."""
+    if num_txns < 1:
+        raise ValueError("num_txns must be >= 1")
+    state = {item: 0 for item in items}
+    ops = []
+    for index in range(num_txns):
+        txn = f"T{index}"
+        ops.append(begin(txn))
+        local = dict(state)
+        for _ in range(rng.randint(1, max_ops)):
+            item = rng.choice(list(items))
+            if rng.random() < 0.5:
+                ops.append(read(txn, item, local[item]))
+            else:
+                value = rng.randint(1, 9)
+                ops.append(write(txn, item, value))
+                local[item] = value
+        ops.append(commit(txn))
+        state = local
+    return AbstractHistory(ops)
+
+
+def interleaved_history(
+    rng,
+    num_txns: int = 3,
+    max_ops: int = 3,
+    items: Sequence[str] = DEFAULT_ITEMS,
+    max_value: int = 5,
+) -> AbstractHistory:
+    """An arbitrary valid interleaving with arbitrary read values.
+
+    Reads draw values uniformly from ``[0, max_value]``, so most generated
+    histories violate consistency properties — by design: they exercise the
+    checkers' rejection paths.
+    """
+    if num_txns < 1:
+        raise ValueError("num_txns must be >= 1")
+    pending = {
+        f"T{i}": ["B"] + ["O"] * rng.randint(1, max_ops) + ["C"]
+        for i in range(num_txns)
+    }
+    ops = []
+    alive = sorted(pending)
+    while alive:
+        txn = rng.choice(alive)
+        step = pending[txn].pop(0)
+        if step == "B":
+            ops.append(begin(txn))
+        elif step == "C":
+            ops.append(commit(txn))
+        else:
+            item = rng.choice(list(items))
+            if rng.random() < 0.5:
+                ops.append(read(txn, item, rng.randint(0, max_value)))
+            else:
+                ops.append(write(txn, item, rng.randint(1, max_value)))
+        if not pending[txn]:
+            alive.remove(txn)
+    return AbstractHistory(ops)

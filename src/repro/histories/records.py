@@ -1,0 +1,97 @@
+"""Run histories: what the replicated system externally did.
+
+A :class:`RunHistory` records one :class:`TxnRecord` per finished client
+transaction — submit time, acknowledgment time, the snapshot it read, the
+version it committed at, and the tables it could access.  The consistency
+checkers in :mod:`repro.histories.checkers` analyse these records to decide
+whether a run was strongly consistent / session consistent, which is how the
+test suite demonstrates that the lazy techniques actually deliver the
+guarantee (and that the weak baseline does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["TxnRecord", "RunHistory"]
+
+
+@dataclass(frozen=True)
+class TxnRecord:
+    """Externally visible facts about one finished client transaction.
+
+    ``submit_time`` is when the client handed the request to the load
+    balancer; ``ack_time`` is when the load balancer relayed the outcome
+    back.  In the strong-consistency definition, "T_i commits before T_j
+    starts" means ``ack_time(T_i) < submit_time(T_j)`` — the only ordering a
+    client (or a hidden channel between clients) can observe.
+
+    ``accessed_tables`` is the transaction's static table-set (from its
+    template); ``updated_tables`` the tables its writeset actually wrote.
+    """
+
+    request_id: int
+    template: str
+    session_id: str
+    replica: str
+    submit_time: float
+    ack_time: float
+    committed: bool
+    snapshot_version: int
+    commit_version: Optional[int]
+    accessed_tables: frozenset[str]
+    updated_tables: frozenset[str]
+    abort_reason: Optional[str] = None
+
+    @property
+    def is_update(self) -> bool:
+        """True when the transaction committed a writeset."""
+        return self.committed and self.commit_version is not None
+
+
+class RunHistory:
+    """Ordered collection of transaction records from one run."""
+
+    def __init__(self):
+        self._records: list[TxnRecord] = []
+
+    def add(self, record: TxnRecord) -> None:
+        """Record one finished transaction."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[TxnRecord, ...]:
+        return tuple(self._records)
+
+    def committed(self) -> list[TxnRecord]:
+        """Only the committed transactions, ordered by acknowledgment."""
+        return sorted(
+            (r for r in self._records if r.committed), key=lambda r: r.ack_time
+        )
+
+    def updates(self) -> list[TxnRecord]:
+        """Committed update transactions, ordered by commit version."""
+        return sorted(
+            (r for r in self._records if r.is_update),
+            key=lambda r: r.commit_version,
+        )
+
+    def aborted(self) -> list[TxnRecord]:
+        """The aborted transactions."""
+        return [r for r in self._records if not r.committed]
+
+    def sessions(self) -> dict[str, list[TxnRecord]]:
+        """Records grouped by session, each ordered by submit time."""
+        by_session: dict[str, list[TxnRecord]] = {}
+        for record in self._records:
+            by_session.setdefault(record.session_id, []).append(record)
+        for records in by_session.values():
+            records.sort(key=lambda r: r.submit_time)
+        return by_session

@@ -1,0 +1,18 @@
+"""Metrics: throughput, response time, per-stage latency breakdowns."""
+
+from .ascii_chart import line_chart
+from .collector import MetricsCollector, MetricsSummary, TxnSample
+from .report import format_breakdown, format_series, format_table
+from .stages import STAGE_NAMES, StageTimings
+
+__all__ = [
+    "MetricsCollector",
+    "line_chart",
+    "MetricsSummary",
+    "STAGE_NAMES",
+    "StageTimings",
+    "TxnSample",
+    "format_breakdown",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,85 @@
+"""ASCII line charts for the figure benches.
+
+The paper's evaluation is a set of line plots; the benchmark harness
+regenerates the underlying series and this module renders them as terminal
+charts so the *shape* — crossovers, saturation, divergence — is visible in
+the bench output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart"]
+
+#: plot symbols assigned to series in order
+_SYMBOLS = "ox*+#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return min(steps - 1, max(0, round(ratio * (steps - 1))))
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render one chart: ``series`` maps curve labels to y-values aligned
+    with ``x_values``.  Curves get one symbol each; the legend maps them
+    back.  Y starts at zero (the paper's plots do), X spans the data."""
+    if not x_values:
+        raise ValueError("x_values must be non-empty")
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+    if not series:
+        raise ValueError("at least one series required")
+
+    y_max = max((max(values) for values in series.values()), default=1.0)
+    y_max = y_max if y_max > 0 else 1.0
+    x_min, x_max = min(x_values), max(x_values)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        symbol = _SYMBOLS[index % len(_SYMBOLS)]
+        previous = None
+        for x, y in zip(x_values, values):
+            column = _scale(x, x_min, x_max, width)
+            row = height - 1 - _scale(y, 0.0, y_max, height)
+            # Linear interpolation between consecutive points keeps curves
+            # readable when x points are sparse.
+            if previous is not None:
+                prev_col, prev_row = previous
+                span = max(abs(column - prev_col), abs(row - prev_row), 1)
+                for step in range(1, span):
+                    inter_col = prev_col + (column - prev_col) * step // span
+                    inter_row = prev_row + (row - prev_row) * step // span
+                    if grid[inter_row][inter_col] == " ":
+                        grid[inter_row][inter_col] = "."
+            grid[row][column] = symbol
+            previous = (column, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (0 .. {y_max:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    legend = "  ".join(
+        f"{_SYMBOLS[i % len(_SYMBOLS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

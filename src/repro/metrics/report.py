@@ -1,0 +1,74 @@
+"""Paper-style result tables.
+
+Helpers that render experiment results the way the paper presents them: one
+row per configuration (or per x-axis point) with aligned numeric columns —
+the same rows/series Figures 3–7 plot.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .collector import MetricsSummary
+from .stages import STAGE_NAMES, StageTimings
+
+__all__ = ["format_table", "format_series", "format_breakdown"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    floatfmt: str = "{:.1f}",
+) -> str:
+    """Render an aligned text table."""
+    rendered_rows = [
+        [floatfmt.format(cell) if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    floatfmt: str = "{:.1f}",
+) -> str:
+    """Render one figure's data: x-axis column plus one column per curve.
+
+    ``series`` maps a curve label (e.g. ``"SC-FINE"``) to its y-values,
+    aligned with ``x_values``.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(values[i] for values in series.values())])
+    return format_table(headers, rows, title=title, floatfmt=floatfmt)
+
+
+def format_breakdown(
+    breakdowns: Mapping[str, StageTimings],
+    title: str = "",
+) -> str:
+    """Render a Figure-4 style latency breakdown: one row per configuration,
+    one column per stage."""
+    headers = ["config", *STAGE_NAMES, "total"]
+    rows = []
+    for label, stages in breakdowns.items():
+        d = stages.as_dict()
+        rows.append([label, *(d[s] for s in STAGE_NAMES), stages.total])
+    return format_table(headers, rows, title=title, floatfmt="{:.2f}")

@@ -1,0 +1,53 @@
+"""Replication middleware: certifier, replica proxies and load balancer.
+
+The multi-master architecture of Figure 2 in the paper: clients → load
+balancer → replica proxies (each fronting a snapshot-isolation storage
+engine) → certifier.
+"""
+
+from .certifier import Certifier
+from .clock import VersionClock
+from .context import TxnContext
+from .durability import DecisionLog, LogEntry
+from .loadbalancer import LoadBalancer
+from .messages import (
+    CertifyReply,
+    CertifyRequest,
+    ClientRequest,
+    ClientResponse,
+    CommitApplied,
+    GlobalCommitNotice,
+    RecoveryReply,
+    RecoveryRequest,
+    RefreshWriteset,
+    RoutedRequest,
+    TxnResponse,
+    next_request_id,
+)
+from .perfmodel import CertifierPerformance, PerformanceParams, ReplicaPerformance
+from .proxy import ReplicaProxy
+
+__all__ = [
+    "Certifier",
+    "CertifierPerformance",
+    "CertifyReply",
+    "CertifyRequest",
+    "ClientRequest",
+    "ClientResponse",
+    "CommitApplied",
+    "DecisionLog",
+    "GlobalCommitNotice",
+    "LoadBalancer",
+    "LogEntry",
+    "PerformanceParams",
+    "RecoveryReply",
+    "RecoveryRequest",
+    "RefreshWriteset",
+    "ReplicaPerformance",
+    "ReplicaProxy",
+    "RoutedRequest",
+    "TxnContext",
+    "TxnResponse",
+    "VersionClock",
+    "next_request_id",
+]

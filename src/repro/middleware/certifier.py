@@ -1,0 +1,258 @@
+"""The certifier (Section IV of the paper).
+
+The certifier (a) decides whether an update transaction commits, (b)
+maintains the total order of committed update transactions, (c) ensures the
+durability of its decisions, and (d) forwards the updates of every committed
+transaction to the other replicas as refresh writesets.
+
+A transaction T can commit iff its writeset does not write-conflict with the
+writesets of transactions that committed since T started (generalized
+snapshot isolation's first-committer-wins rule, applied globally).
+
+Under the EAGER configuration the certifier also maintains a per-commit
+counter of replicas that have applied the commit, and notifies the
+originating replica once the counter reaches the replica count (the *global
+commit*).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.consistency import ConsistencyLevel
+from ..sim.kernel import Environment
+from ..sim.network import Mailbox, Network
+from ..sim.resources import Resource
+from .durability import DecisionLog, LogEntry
+from .messages import (
+    CertifyReply,
+    CertifyRequest,
+    CommitApplied,
+    GlobalCommitNotice,
+    RecoveryReply,
+    RecoveryRequest,
+)
+from .perfmodel import CertifierPerformance
+
+__all__ = ["Certifier"]
+
+
+class Certifier:
+    """Certification, total ordering, durability and update propagation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        perf: CertifierPerformance,
+        replica_names: list[str],
+        level: ConsistencyLevel,
+        name: str = "certifier",
+        log: Optional[DecisionLog] = None,
+    ):
+        self.env = env
+        self.network = network
+        self.perf = perf
+        self.replica_names = list(replica_names)
+        self.level = level
+        self.name = name
+        self.log = log if log is not None else DecisionLog()
+        self.mailbox: Mailbox = network.register(name)
+        self._service = Resource(env, capacity=1)
+        # Replica progress: newest version each replica reported applied.
+        self.applied_versions: dict[str, int] = {r: 0 for r in self.replica_names}
+        # Progress of replicas removed from membership (crashed but may
+        # return): bounds log truncation so their recovery replay stays
+        # possible.
+        self._departed_versions: dict[str, int] = {}
+        # EAGER bookkeeping: version -> set of replicas that applied it,
+        # and version -> (origin, request_id) awaiting global commit.
+        self._applied_by: dict[int, set[str]] = {}
+        self._awaiting_global: dict[int, tuple[str, int]] = {}
+        # Counters for tests/metrics.
+        self.certified_count = 0
+        self.abort_count = 0
+        #: set by halt(): a halted certifier makes no further decisions.
+        self.halted = False
+        self._process = env.process(self._run(), name=f"{name}-loop")
+
+    # -- derived state ------------------------------------------------------
+    @property
+    def commit_version(self) -> int:
+        """``V_commit`` — version of the latest certified transaction."""
+        return self.log.last_version
+
+    def replication_horizon(self) -> int:
+        """Version every replica — including departed ones that may still
+        recover — has applied (the safe log-truncation horizon)."""
+        versions = list(self.applied_versions.values())
+        versions.extend(self._departed_versions.values())
+        if not versions:
+            return self.commit_version
+        return min(versions)
+
+    def truncate_log(self) -> int:
+        """Drop log entries below the replication horizon.
+
+        Safe by construction: no live or departed replica can need a replay
+        below its own applied version.  Returns entries dropped.
+        """
+        return self.log.truncate_to(self.replication_horizon())
+
+    # -- main loop ------------------------------------------------------------
+    def halt(self) -> None:
+        """Crash-stop the certifier: no further decisions.
+
+        Critical for failover correctness — without it, a certification in
+        flight on the old primary could assign the same commit version the
+        standby later hands to a different transaction, splitting the total
+        order (found by the chaos test)."""
+        self.halted = True
+
+    def _run(self):
+        while True:
+            message = yield self.mailbox.receive()
+            if self.halted:
+                return
+            if isinstance(message, CertifyRequest):
+                yield from self._handle_certify(message)
+            elif isinstance(message, CommitApplied):
+                self._handle_commit_applied(message)
+            elif isinstance(message, RecoveryRequest):
+                self._handle_recovery(message)
+            else:
+                raise TypeError(f"certifier got unexpected message {message!r}")
+
+    def _handle_certify(self, request: CertifyRequest):
+        # Certification + durable logging consume the certifier's CPU; this
+        # serialises decisions, which is what makes the total order total.
+        yield from self._service.use(self.perf.certify(len(request.writeset)))
+        if self.halted:
+            # Crashed mid-certification: the decision was never made.
+            return
+
+        conflict_version = self._find_conflict(request)
+        if conflict_version is not None:
+            self.abort_count += 1
+            reply = CertifyReply(
+                txn_id=request.txn_id,
+                request_id=request.request_id,
+                certified=False,
+                commit_version=None,
+                conflict_with=conflict_version,
+            )
+            self.network.send(self.name, request.origin, reply)
+            return
+
+        version = self.commit_version + 1
+        self.log.append(
+            LogEntry(version, request.txn_id, request.origin, request.writeset)
+        )
+        self.certified_count += 1
+        if self.level is ConsistencyLevel.EAGER:
+            self._applied_by[version] = set()
+            self._awaiting_global[version] = (request.origin, request.request_id)
+
+        reply = CertifyReply(
+            txn_id=request.txn_id,
+            request_id=request.request_id,
+            certified=True,
+            commit_version=version,
+        )
+        self.network.send(self.name, request.origin, reply)
+        # Forward the refresh writeset to every other replica.
+        from .messages import RefreshWriteset  # local import avoids cycle noise
+
+        for replica in self.replica_names:
+            if replica != request.origin:
+                self.network.send(
+                    self.name,
+                    replica,
+                    RefreshWriteset(version, request.writeset, request.origin, request.txn_id),
+                )
+
+    def _find_conflict(self, request: CertifyRequest) -> Optional[int]:
+        """Version of the first committed writeset in
+        ``(snapshot, V_commit]`` that conflicts with the request.
+
+        Always checks write-write conflicts (GSI first-committer-wins).
+        When the request carries a readset (serializable certification
+        mode), a committed write to any row the transaction *read* also
+        conflicts — backward validation, which makes the global history
+        one-copy serializable at the cost of extra aborts.
+        """
+        low = request.snapshot_version
+        high = self.commit_version
+        if low < self.log.truncation_version:
+            # The conflict window reaches into the truncated prefix: absence
+            # of conflicts cannot be proven, so abort conservatively.  Only
+            # transactions on extraordinarily stale snapshots hit this.
+            return low + 1
+        for version in range(low + 1, high + 1):
+            committed = self.log.entry(version).writeset
+            if committed.conflicts_with(request.writeset):
+                return version
+            if request.readset:
+                for op in committed:
+                    if (op.table, op.key) in request.readset:
+                        return version
+        return None
+
+    def _handle_commit_applied(self, message: CommitApplied) -> None:
+        if message.replica in self.applied_versions:
+            current = self.applied_versions[message.replica]
+            if message.commit_version > current:
+                self.applied_versions[message.replica] = message.commit_version
+        if self.level is not ConsistencyLevel.EAGER:
+            return
+        applied = self._applied_by.get(message.commit_version)
+        if applied is None:
+            return
+        applied.add(message.replica)
+        if len(applied) >= len(self.replica_names):
+            origin, request_id = self._awaiting_global.pop(message.commit_version)
+            del self._applied_by[message.commit_version]
+            self.network.send(
+                self.name,
+                origin,
+                GlobalCommitNotice(message.commit_version, request_id),
+            )
+
+    def _handle_recovery(self, message: RecoveryRequest) -> None:
+        entries = tuple(
+            (entry.commit_version, entry.writeset)
+            for entry in self.log.entries_after(message.after_version)
+        )
+        self.network.send(self.name, message.replica, RecoveryReply(message.replica, entries))
+
+    # -- membership (fault tolerance) ---------------------------------------
+    def remove_replica(self, replica: str) -> None:
+        """Exclude a crashed replica from propagation and EAGER counting.
+
+        Without this, EAGER would block forever waiting for a dead replica —
+        exactly the availability weakness of the eager approach; the faults
+        package exposes both behaviours.
+        """
+        if replica in self.replica_names:
+            self.replica_names.remove(replica)
+        departed_at = self.applied_versions.pop(replica, None)
+        if departed_at is not None:
+            self._departed_versions[replica] = departed_at
+        if self.level is ConsistencyLevel.EAGER:
+            for version in list(self._awaiting_global):
+                applied = self._applied_by.get(version, set())
+                applied.discard(replica)
+                if len(applied) >= len(self.replica_names):
+                    origin, request_id = self._awaiting_global.pop(version)
+                    self._applied_by.pop(version, None)
+                    if origin in self.replica_names:
+                        self.network.send(
+                            self.name, origin, GlobalCommitNotice(version, request_id)
+                        )
+
+    def add_replica(self, replica: str, applied_version: int = 0) -> None:
+        """(Re-)admit a replica after recovery."""
+        if replica not in self.replica_names:
+            self.replica_names.append(replica)
+        self.applied_versions[replica] = applied_version
+        self._departed_versions.pop(replica, None)

@@ -1,0 +1,64 @@
+"""Waitable version clock.
+
+Each proxy tracks its copy's committed database version (``V_local``) and
+needs to *wait* until the version reaches a target — that wait is the
+synchronization start delay of the lazy strong-consistency techniques, and
+the sync stage of update commits.  :class:`VersionClock` turns "version
+reached v" into an event a process can yield.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+from ..sim.kernel import Environment, Event
+
+__all__ = ["VersionClock"]
+
+
+class VersionClock:
+    """A monotonically increasing integer clock with waitable thresholds."""
+
+    def __init__(self, env: Environment, initial: int = 0):
+        self.env = env
+        self._version = initial
+        self._tie = itertools.count()
+        # Min-heap of (target_version, tie, event).
+        self._waiters: list[tuple[int, int, Event]] = []
+
+    @property
+    def version(self) -> int:
+        """Current value of the clock."""
+        return self._version
+
+    def advance_to(self, version: int) -> None:
+        """Raise the clock to ``version`` (no-op when already past it) and
+        wake every waiter whose target has been reached."""
+        if version <= self._version:
+            return
+        self._version = version
+        while self._waiters and self._waiters[0][0] <= self._version:
+            _target, _tie, event = heapq.heappop(self._waiters)
+            if not event.triggered:
+                event.succeed(self._version)
+
+    def wait_for(self, version: int) -> Event:
+        """An event that fires once the clock reaches ``version``.
+
+        Fires immediately when the clock is already there — yielding the
+        event is then a zero-delay continuation, so the version stage
+        measures exactly 0 ms for an already-synchronized replica.
+        """
+        event = Event(self.env)
+        if self._version >= version:
+            event.succeed(self._version)
+        else:
+            heapq.heappush(self._waiters, (version, next(self._tie), event))
+        return event
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently blocked on the clock."""
+        return len(self._waiters)

@@ -1,0 +1,185 @@
+"""Certifier decision log — the system's durability point.
+
+Following Tashkent (which the paper adopts), transaction durability is
+enforced at the certifier: each commit decision is appended to a durable,
+totally ordered log, and the replicas run with log-forcing off.  Replica
+recovery replays this log from the replica's last applied version.
+
+The log is in-memory with an optional line-per-decision file sink so tests
+and examples can inspect the persisted form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..storage.writeset import OpKind, WriteOp, WriteSet
+
+__all__ = ["LogEntry", "DecisionLog"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed transaction: its global version, origin and writeset."""
+
+    commit_version: int
+    txn_id: int
+    origin: str
+    writeset: WriteSet
+
+    def to_json(self) -> str:
+        """Serialise for the file sink (used by the durability tests)."""
+        ops = [
+            {
+                "table": op.table,
+                "key": op.key,
+                "kind": op.kind.value,
+                "values": dict(op.values) if op.values is not None else None,
+            }
+            for op in self.writeset
+        ]
+        return json.dumps(
+            {
+                "v": self.commit_version,
+                "txn": self.txn_id,
+                "origin": self.origin,
+                "ops": ops,
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "LogEntry":
+        """Parse an entry previously written by :meth:`to_json`."""
+        data = json.loads(line)
+        ops = [
+            WriteOp(o["table"], o["key"], OpKind(o["kind"]), o["values"])
+            for o in data["ops"]
+        ]
+        return LogEntry(data["v"], data["txn"], data["origin"], WriteSet(ops))
+
+
+class DecisionLog:
+    """Totally ordered durable log of commit decisions.
+
+    Supports prefix truncation (:meth:`truncate_to`): once every replica has
+    applied a version (the certifier's *replication horizon*), the entries
+    at or below it are no longer needed for recovery or conflict checks and
+    can be dropped from memory.  Indexing accounts for the truncated prefix.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self._entries: list[LogEntry] = []
+        #: number of leading versions truncated away (entries 1.._offset)
+        self._offset = 0
+        self._path = path
+        self._file = open(path, "a", encoding="utf-8") if path else None
+
+    def __len__(self) -> int:
+        """Entries currently held in memory (excludes the truncated prefix)."""
+        return len(self._entries)
+
+    @property
+    def first_version(self) -> int:
+        """Oldest version still held (0 when empty)."""
+        return self._offset + 1 if self._entries else 0
+
+    @property
+    def truncation_version(self) -> int:
+        """Versions at or below this have been truncated away (0 = none)."""
+        return self._offset
+
+    @property
+    def last_version(self) -> int:
+        """Version of the newest logged decision (counts truncated ones)."""
+        return self._offset + len(self._entries)
+
+    def append(self, entry: LogEntry) -> None:
+        """Append a decision; versions must be contiguous from 1."""
+        expected = self.last_version + 1
+        if entry.commit_version != expected:
+            raise ValueError(
+                f"log gap: expected version {expected}, got {entry.commit_version}"
+            )
+        self._entries.append(entry)
+        if self._file is not None:
+            self._file.write(entry.to_json() + "\n")
+            self._file.flush()
+
+    def truncate_to(self, version: int) -> int:
+        """Drop in-memory entries with ``commit_version <= version``.
+
+        Only legal up to the replication horizon — the caller guarantees no
+        replica will ever ask for the dropped suffix again.  The file sink
+        (if any) is never truncated: it remains the complete durable record.
+        Returns the number of entries dropped.
+        """
+        drop = min(max(0, version - self._offset), len(self._entries))
+        if drop:
+            del self._entries[:drop]
+            self._offset += drop
+        return drop
+
+    def entries_after(self, version: int) -> list[LogEntry]:
+        """All decisions with ``commit_version > version`` (recovery replay).
+
+        Raises :class:`KeyError` when part of the requested suffix has been
+        truncated — the caller asked for history nobody should still need.
+        """
+        if version >= self.last_version:
+            return []
+        if version < self._offset:
+            raise KeyError(
+                f"log truncated to v{self._offset}; cannot replay after v{version}"
+            )
+        return self._entries[version - self._offset:]
+
+    def entry(self, version: int) -> LogEntry:
+        """The decision at ``version``."""
+        if not self._offset < version <= self.last_version:
+            raise KeyError(f"no log entry for version {version}")
+        return self._entries[version - self._offset - 1]
+
+    def writesets_between(self, low: int, high: int) -> Iterable[WriteSet]:
+        """Writesets with version in ``(low, high]`` — the certifier's
+        conflict-check window."""
+        low = max(low, self._offset)
+        high = min(high, self.last_version)
+        for version in range(low + 1, high + 1):
+            yield self.entry(version).writeset
+
+    def clone(self) -> "DecisionLog":
+        """An in-memory copy (same entries and truncation offset) — the
+        standby certifier's state-machine replica."""
+        log = DecisionLog()
+        log._offset = self._offset
+        log._entries = list(self._entries)
+        return log
+
+    def replay_into(self, target) -> int:
+        """Apply every logged writeset into ``target`` (an object with
+        ``version`` and ``apply_writeset``); returns versions applied."""
+        applied = 0
+        for entry in self.entries_after(target.version):
+            target.apply_writeset(entry.writeset, entry.commit_version)
+            applied += 1
+        return applied
+
+    def close(self) -> None:
+        """Close the file sink, if any."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @staticmethod
+    def load(path: str) -> "DecisionLog":
+        """Rebuild a log from its file sink (certifier crash recovery)."""
+        log = DecisionLog()
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    log.append(LogEntry.from_json(line))
+        return log

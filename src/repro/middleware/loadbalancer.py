@@ -1,0 +1,233 @@
+"""The load balancer (Section IV of the paper).
+
+The load balancer is the intermediary between clients and replicas.  Its
+design is deliberately minimalistic: it holds only soft state — the number of
+active transactions per replica (for least-loaded routing), the version
+tracker (``V_system``, per-table ``V_t``, per-session versions) and the
+transaction-identifier → table-set catalog that SC-FINE consults.
+
+On every client request it computes the **start version** for the configured
+consistency level, tags the request with it and dispatches it to the replica
+with the fewest active transactions.  On every replica response it updates
+the version tracker from the proxy's tags and relays the outcome to the
+client.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.consistency import ConsistencyLevel
+from ..core.versions import VersionTracker
+from ..histories.records import RunHistory, TxnRecord
+from ..sim.kernel import Environment
+from ..sim.network import Mailbox, Network
+from .messages import ClientRequest, ClientResponse, RoutedRequest, TxnResponse
+
+__all__ = ["LoadBalancer"]
+
+
+class LoadBalancer:
+    """Routing, version tagging and response relaying."""
+
+    #: supported routing policies
+    ROUTING_POLICIES = ("least-active", "round-robin", "random")
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        replica_names: list[str],
+        level: ConsistencyLevel,
+        templates: dict,
+        name: str = "lb",
+        history: Optional[RunHistory] = None,
+        routing: str = "least-active",
+        rng=None,
+        freshness_bound: Optional[int] = None,
+    ):
+        if routing not in self.ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {routing!r}; "
+                f"expected one of {self.ROUTING_POLICIES}"
+            )
+        if routing == "random" and rng is None:
+            raise ValueError("random routing requires an rng")
+        self.env = env
+        self.network = network
+        self.name = name
+        self.level = level
+        self.templates = templates
+        self.tracker = VersionTracker()
+        self.history = history
+        self.routing = routing
+        self.rng = rng
+        #: staleness allowance (versions) for the RELAXED level
+        self.freshness_bound = freshness_bound
+        self.mailbox: Mailbox = network.register(name)
+
+        self._replicas = list(replica_names)
+        self._up = set(replica_names)
+        self._active_count: dict[str, int] = {r: 0 for r in replica_names}
+        self._round_robin_next = 0
+        # request_id -> (ClientRequest, replica) for in-flight requests.
+        self._outstanding: dict[int, tuple[ClientRequest, str]] = {}
+        self.dispatched_count = 0
+        self.relayed_count = 0
+
+        self._loop = env.process(self._run(), name=f"{name}-loop")
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def v_system(self) -> int:
+        """The balancer's view of the latest acknowledged commit version."""
+        return self.tracker.v_system
+
+    def active_transactions(self, replica: str) -> int:
+        """Current in-flight transactions routed to ``replica``."""
+        return self._active_count.get(replica, 0)
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    # -- main loop ------------------------------------------------------------
+    def _run(self):
+        while True:
+            message = yield self.mailbox.receive()
+            if isinstance(message, ClientRequest):
+                self._dispatch(message)
+            elif isinstance(message, TxnResponse):
+                self._relay(message)
+            else:
+                raise TypeError(f"load balancer got unexpected message {message!r}")
+
+    # -- request path ---------------------------------------------------------
+    def _dispatch(self, request: ClientRequest) -> None:
+        replica = self._pick_replica()
+        start_version = self._start_version(request)
+        self._outstanding[request.request_id] = (request, replica)
+        self._active_count[replica] += 1
+        self.dispatched_count += 1
+        self.network.send(self.name, replica, RoutedRequest(request, start_version))
+
+    def _pick_replica(self) -> str:
+        """Route per the configured policy over the replicas currently up.
+
+        The paper's balancer uses least-active ("the replica with the least
+        number of active transactions"); round-robin and random exist for
+        the routing ablation.
+        """
+        candidates = [r for r in self._replicas if r in self._up]
+        if not candidates:
+            raise RuntimeError("no replicas available")
+        if self.routing == "round-robin":
+            pick = candidates[self._round_robin_next % len(candidates)]
+            self._round_robin_next += 1
+            return pick
+        if self.routing == "random":
+            return self.rng.choice(candidates)
+        return min(candidates, key=lambda r: (self._active_count[r], r))
+
+    def _start_version(self, request: ClientRequest) -> int:
+        """The consistency tag: the minimum version the replica must reach.
+
+        SC-FINE looks up the transaction's table-set in the catalog using
+        the request's transaction identifier (template name), exactly as the
+        paper's balancer queries its table-set dictionary.
+        """
+        table_set = None
+        if self.level is ConsistencyLevel.SC_FINE:
+            template = self.templates.get(request.template)
+            table_set = template.table_set if template is not None else None
+        return self.tracker.start_version(
+            self.level,
+            table_set=table_set,
+            session_id=request.session_id,
+            freshness_bound=self.freshness_bound,
+        )
+
+    # -- response path ---------------------------------------------------------
+    def _relay(self, response: TxnResponse) -> None:
+        entry = self._outstanding.pop(response.request_id, None)
+        if entry is None:
+            return  # late response for a request already answered (crash path)
+        request, replica = entry
+        if self._active_count.get(replica, 0) > 0:
+            self._active_count[replica] -= 1
+
+        if response.committed:
+            self.tracker.observe_commit(
+                commit_version=response.commit_version,
+                updated_tables=response.updated_tables,
+                session_id=response.session_id,
+                replica_version=response.replica_version,
+            )
+        self.relayed_count += 1
+        self.network.send(
+            self.name,
+            response.reply_to,
+            ClientResponse(
+                request_id=response.request_id,
+                committed=response.committed,
+                commit_version=response.commit_version,
+                abort_reason=response.abort_reason,
+                replica=response.replica,
+                stages=response.stages,
+                snapshot_version=response.snapshot_version,
+                result=response.result,
+            ),
+        )
+        if self.history is not None:
+            template = self.templates.get(request.template)
+            accessed = template.table_set if template is not None else frozenset()
+            self.history.add(
+                TxnRecord(
+                    request_id=request.request_id,
+                    template=request.template,
+                    session_id=request.session_id,
+                    replica=response.replica,
+                    submit_time=request.submit_time,
+                    ack_time=self.env.now,
+                    committed=response.committed,
+                    snapshot_version=response.snapshot_version,
+                    commit_version=response.commit_version,
+                    accessed_tables=frozenset(accessed),
+                    updated_tables=response.updated_tables,
+                    abort_reason=response.abort_reason,
+                )
+            )
+
+    # -- fault handling -----------------------------------------------------
+    def replica_down(self, replica: str) -> None:
+        """Stop routing to a crashed replica and fail its in-flight requests.
+
+        A request whose writeset was already certified may still commit
+        globally even though the client sees a failure — the inherent client
+        uncertainty of the crash-recovery model; see DESIGN.md D5."""
+        self._up.discard(replica)
+        failed = [
+            (rid, req)
+            for rid, (req, rep) in self._outstanding.items()
+            if rep == replica
+        ]
+        for request_id, request in failed:
+            del self._outstanding[request_id]
+            self._active_count[replica] = max(0, self._active_count[replica] - 1)
+            self.network.send(
+                self.name,
+                request.reply_to,
+                ClientResponse(
+                    request_id=request_id,
+                    committed=False,
+                    commit_version=None,
+                    abort_reason=f"replica {replica} failed",
+                    replica=replica,
+                    stages=None,
+                ),
+            )
+
+    def replica_up(self, replica: str) -> None:
+        """Resume routing to a recovered replica."""
+        if replica in self._replicas:
+            self._up.add(replica)

@@ -1,0 +1,183 @@
+"""Typed messages exchanged by the middleware components.
+
+Clients talk to the load balancer; the load balancer talks to replica
+proxies; proxies talk to the certifier.  Every message is a small frozen
+dataclass so tests can pattern-match on traffic via network taps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from ..storage.writeset import WriteSet
+
+__all__ = [
+    "next_request_id",
+    "ClientRequest",
+    "ClientResponse",
+    "RoutedRequest",
+    "TxnResponse",
+    "CertifyRequest",
+    "CertifyReply",
+    "RefreshWriteset",
+    "CommitApplied",
+    "GlobalCommitNotice",
+    "RecoveryRequest",
+    "RecoveryReply",
+]
+
+_request_ids = itertools.count(1)
+
+
+def next_request_id() -> int:
+    """Globally unique client-request identifier."""
+    return next(_request_ids)
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """Client → load balancer: run one transaction.
+
+    ``template`` names a registered transaction template (the paper's
+    *transaction identifier*, which SC-FINE uses to look up the table-set);
+    ``params`` are the prepared-statement parameters; ``session_id``
+    identifies the client's session; ``reply_to`` is the client's endpoint.
+    """
+
+    request_id: int
+    template: str
+    params: Mapping[str, Any]
+    session_id: str
+    reply_to: str
+    submit_time: float
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """Load balancer → client: transaction outcome."""
+
+    request_id: int
+    committed: bool
+    commit_version: Optional[int]
+    abort_reason: Optional[str]
+    replica: str
+    stages: "Any"  # metrics.StageTimings; Any avoids a circular import
+    snapshot_version: int = 0
+    result: Any = None
+
+
+@dataclass(frozen=True)
+class RoutedRequest:
+    """Load balancer → replica proxy: the request plus the consistency tag.
+
+    ``start_version`` is the minimum ``V_local`` required before the
+    transaction may begin (0 means start immediately).
+    """
+
+    request: ClientRequest
+    start_version: int
+
+
+@dataclass(frozen=True)
+class TxnResponse:
+    """Replica proxy → load balancer: outcome plus version bookkeeping.
+
+    ``replica_version`` is ``V_local`` after the transaction finished — the
+    value the proxy "tags its response" with; ``updated_tables`` carries the
+    writeset's table set so the balancer can maintain per-table versions.
+    """
+
+    request_id: int
+    session_id: str
+    reply_to: str
+    replica: str
+    committed: bool
+    commit_version: Optional[int]
+    abort_reason: Optional[str]
+    replica_version: int
+    updated_tables: frozenset[str]
+    stages: "Any"
+    snapshot_version: int = 0
+    result: Any = None
+
+
+@dataclass(frozen=True)
+class CertifyRequest:
+    """Proxy → certifier: certify an update transaction's writeset.
+
+    ``readset`` is present only in serializable certification mode: the set
+    of (table, key) pairs the transaction read, validated against the
+    writesets committed since its snapshot (backward validation turns GSI
+    into one-copy serializability — Section IV notes TPC-W/TPC-C already
+    run serializably under GSI, so this mode is an optional extension).
+    """
+
+    txn_id: int
+    origin: str
+    snapshot_version: int
+    writeset: WriteSet
+    request_id: int
+    readset: Optional[frozenset] = None
+
+
+@dataclass(frozen=True)
+class CertifyReply:
+    """Certifier → origin proxy: the decision.
+
+    ``commit_version`` is set iff ``certified``.
+    """
+
+    txn_id: int
+    request_id: int
+    certified: bool
+    commit_version: Optional[int]
+    conflict_with: Optional[int] = None  # version of the conflicting commit
+
+
+@dataclass(frozen=True)
+class RefreshWriteset:
+    """Certifier → non-origin proxies: a committed transaction's writeset to
+    be applied locally as a refresh transaction."""
+
+    commit_version: int
+    writeset: WriteSet
+    origin: str
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class CommitApplied:
+    """Proxy → certifier: this replica has committed version
+    ``commit_version`` (local or refresh).  Drives the EAGER global-commit
+    counters and, in any mode, the certifier's replica-progress tracking."""
+
+    replica: str
+    commit_version: int
+
+
+@dataclass(frozen=True)
+class GlobalCommitNotice:
+    """Certifier → origin proxy (EAGER only): every replica has committed
+    ``commit_version``; the client may now be acknowledged."""
+
+    commit_version: int
+    request_id: int
+
+
+@dataclass(frozen=True)
+class RecoveryRequest:
+    """Recovering proxy → certifier: replay all decisions after
+    ``after_version``."""
+
+    replica: str
+    after_version: int
+
+
+@dataclass(frozen=True)
+class RecoveryReply:
+    """Certifier → recovering proxy: the missed writesets, ascending."""
+
+    replica: str
+    entries: tuple  # tuple[tuple[int, WriteSet], ...]

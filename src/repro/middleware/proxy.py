@@ -1,0 +1,570 @@
+"""The replica proxy (Section IV of the paper).
+
+Each replica hosts a standalone snapshot-isolation DBMS (our storage engine)
+fronted by a proxy.  The proxy:
+
+* intercepts client transactions routed by the load balancer, delays their
+  start until the local version reaches the request's ``start_version`` tag
+  (the **version** stage — this single wait is how both lazy techniques
+  enforce strong consistency);
+* executes the transaction's statements against the local engine, charging
+  their service times to the replica CPU (the **queries** stage);
+* commits read-only transactions locally and immediately;
+* sends update writesets to the certifier (the **certify** stage), then
+  commits at the assigned global version, first waiting for all earlier
+  versions to be applied locally (the **sync** stage, then **commit**);
+* applies **refresh writesets** from remote transactions strictly in the
+  certifier's total order, interleaved with local commits;
+* performs **early certification** to prevent the hidden-deadlock problem:
+  client update statements are checked against pending refresh writesets,
+  and arriving refresh writesets abort conflicting active local
+  transactions;
+* under EAGER, additionally waits for the certifier's global-commit notice
+  before acknowledging the client (the **global** stage).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.consistency import ConsistencyLevel
+from ..metrics.stages import StageTimings
+from ..sim.kernel import Environment, Event
+from ..sim.network import Mailbox, Network
+from ..sim.resources import Resource
+from ..storage.engine import StorageEngine
+from ..storage.errors import StorageError, TransactionAborted
+from ..storage.transaction import Transaction
+from .clock import VersionClock
+from .context import TxnContext
+from .messages import (
+    CertifyReply,
+    CertifyRequest,
+    CommitApplied,
+    GlobalCommitNotice,
+    RecoveryReply,
+    RecoveryRequest,
+    RefreshWriteset,
+    RoutedRequest,
+    TxnResponse,
+)
+from .perfmodel import ReplicaPerformance
+
+__all__ = ["ReplicaProxy"]
+
+
+class ReplicaCrashed(Exception):
+    """Internal signal: the replica crashed while a transaction was in
+    flight; the transaction process exits without responding."""
+
+
+class CertifierUnavailable(Exception):
+    """The certifier failed over while a certification (or an EAGER global
+    commit) was in flight."""
+
+
+class ReplicaProxy:
+    """Proxy + local DBMS + CPU model: one replica of the system."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        name: str,
+        engine: StorageEngine,
+        perf: ReplicaPerformance,
+        level: ConsistencyLevel,
+        templates: dict,
+        certifier_name: str = "certifier",
+        balancer_name: str = "lb",
+        precheck_committed: bool = True,
+        early_certification: bool = True,
+        certify_reads: bool = False,
+        vacuum_interval_ms: Optional[float] = None,
+    ):
+        self.env = env
+        self.network = network
+        self.name = name
+        self.engine = engine
+        self.perf = perf
+        self.level = level
+        self.templates = templates
+        self.certifier_name = certifier_name
+        self.balancer_name = balancer_name
+        self.precheck_committed = precheck_committed
+        # Section IV's hidden-deadlock prevention; the ablation bench turns
+        # it off to show conflicts then travelling to the certifier.
+        self.early_certification = early_certification
+        # Serializable certification mode: ship the readset for backward
+        # validation at the certifier.
+        self.certify_reads = certify_reads
+
+        self.mailbox: Mailbox = network.register(name)
+        self.cpu = Resource(env, capacity=perf.params.cores)
+        # The replica's log-flush device: EAGER commit acknowledgments
+        # serialize here (the lazy configurations never touch it).
+        self.flush_device = Resource(env, capacity=1)
+        self.clock = VersionClock(env, initial=engine.version)
+        self.crashed = False
+
+        # Refresh writesets received but not applied yet, by version.
+        self._pending_refresh: dict[int, Any] = {}
+        # Versions reserved for local certified transactions.
+        self._reserved: set[int] = set()
+        # Active local transactions still executing (pre-certification),
+        # eligible for arrival-side early-certification aborts.
+        self._executing: dict[int, Transaction] = {}
+        # txn_id -> abort reason set by arrival-side early certification.
+        self._doomed: dict[int, str] = {}
+        # request_id -> Event for certifier replies / global-commit notices.
+        self._certify_waiters: dict[int, Event] = {}
+        self._global_waiters: dict[int, Event] = {}
+        self._applier_wakeup: Optional[Event] = None
+
+        # Counters for tests and reports.
+        self.executed_count = 0
+        self.committed_count = 0
+        self.aborted_count = 0
+        self.refresh_applied_count = 0
+        self.early_abort_count = 0
+
+        self._loop = env.process(self._run(), name=f"{name}-loop")
+        self._applier = env.process(self._apply_refreshes(), name=f"{name}-applier")
+        self.vacuumed_versions = 0
+        if vacuum_interval_ms is not None:
+            if vacuum_interval_ms <= 0:
+                raise ValueError("vacuum_interval_ms must be positive")
+            self._vacuum = env.process(
+                self._vacuum_loop(vacuum_interval_ms), name=f"{name}-vacuum"
+            )
+
+    # -- convenience --------------------------------------------------------
+    @property
+    def v_local(self) -> int:
+        """The replica's committed database version."""
+        return self.engine.version
+
+    @property
+    def pending_refresh_count(self) -> int:
+        """Refresh writesets received but not yet applied."""
+        return len(self._pending_refresh)
+
+    # -- message dispatch ------------------------------------------------------
+    def _run(self):
+        while True:
+            message = yield self.mailbox.receive()
+            if self.crashed:
+                continue
+            if isinstance(message, RoutedRequest):
+                self.env.process(
+                    self._execute(message), name=f"{self.name}-txn-{message.request.request_id}"
+                )
+            elif isinstance(message, CertifyReply):
+                waiter = self._certify_waiters.pop(message.request_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(message)
+            elif isinstance(message, GlobalCommitNotice):
+                waiter = self._global_waiters.pop(message.request_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(message)
+            elif isinstance(message, RefreshWriteset):
+                self._receive_refresh(message)
+            elif isinstance(message, RecoveryReply):
+                self._receive_recovery(message)
+            else:
+                raise TypeError(f"{self.name} got unexpected message {message!r}")
+
+    # -- refresh handling ------------------------------------------------------
+    def _receive_refresh(self, message: RefreshWriteset) -> None:
+        if message.commit_version <= self.engine.version:
+            return  # duplicate (possible after recovery replay)
+        self._pending_refresh[message.commit_version] = message.writeset
+        # Arrival-side early certification: doom conflicting active locals.
+        if self.early_certification:
+            for txn in list(self._executing.values()):
+                if txn.is_read_only:
+                    continue
+                if message.writeset.conflicts_with(txn.partial_writeset()):
+                    self._doomed[txn.txn_id] = (
+                        f"early certification: refresh v{message.commit_version} "
+                        "conflicts with partial writeset"
+                    )
+        self._wake_applier()
+
+    def _receive_recovery(self, message: RecoveryReply) -> None:
+        for version, writeset in message.entries:
+            if version > self.engine.version and version not in self._pending_refresh:
+                self._pending_refresh[version] = writeset
+        self._wake_applier()
+
+    def _wake_applier(self) -> None:
+        if self._applier_wakeup is not None and not self._applier_wakeup.triggered:
+            self._applier_wakeup.succeed()
+
+    def _apply_refreshes(self):
+        """Apply refresh writesets strictly in the global commit order,
+        interleaving with local commits (which own their reserved versions)."""
+        while True:
+            if self.crashed:
+                self._applier_wakeup = Event(self.env)
+                yield self._applier_wakeup
+                self._applier_wakeup = None
+                continue
+            next_version = self.engine.version + 1
+            if next_version in self._pending_refresh:
+                writeset = self._pending_refresh.pop(next_version)
+                yield from self.cpu.use(self.perf.refresh(len(writeset)))
+                if self.crashed:
+                    continue
+                self.engine.apply_refresh(writeset, next_version)
+                self.refresh_applied_count += 1
+                # A duplicate of this version may have arrived while the
+                # apply held the CPU; drop it so it cannot linger.
+                self._pending_refresh.pop(next_version, None)
+                self.clock.advance_to(next_version)
+                self._send_commit_applied(next_version, len(writeset))
+            elif next_version in self._reserved:
+                # A certified local transaction owns this version; it will
+                # advance the clock when it commits.  The wait is also
+                # wakeable so a crash/recovery (which voids reservations and
+                # replays the version as a refresh) cannot strand us.
+                self._applier_wakeup = Event(self.env)
+                yield self.env.any_of(
+                    [self.clock.wait_for(next_version), self._applier_wakeup]
+                )
+                self._applier_wakeup = None
+            else:
+                self._applier_wakeup = Event(self.env)
+                yield self._applier_wakeup
+                self._applier_wakeup = None
+
+    def _vacuum_loop(self, interval_ms: float):
+        """Periodically trim row versions no local snapshot can still read.
+
+        The safe horizon is the oldest active local snapshot (or the current
+        version when idle); vacuuming below it preserves every visible read.
+        """
+        while True:
+            yield self.env.timeout(interval_ms)
+            if self.crashed:
+                continue
+            oldest = self.engine.oldest_active_snapshot()
+            horizon = self.engine.version if oldest is None else oldest
+            self.vacuumed_versions += self.engine.database.vacuum(horizon)
+
+    # -- early certification -------------------------------------------------
+    def early_certification_conflict(self, txn: Transaction) -> Optional[str]:
+        """Statement-side check: does the transaction's partial writeset
+        conflict with a pending refresh writeset (or, optionally, with a row
+        already overwritten past its snapshot)?  Returns the abort reason or
+        None."""
+        if not self.early_certification:
+            return None
+        doomed = self._doomed.get(txn.txn_id)
+        if doomed is not None:
+            return doomed
+        partial = txn.partial_writeset()
+        for version, refresh in self._pending_refresh.items():
+            if refresh.conflicts_with(partial):
+                return (
+                    f"early certification: conflict with pending refresh v{version}"
+                )
+        if self.precheck_committed:
+            for op in partial:
+                committed_at = self.engine.database.latest_write_version(op.table, op.key)
+                if committed_at > txn.snapshot_version:
+                    return (
+                        f"early certification: {op.table}:{op.key} overwritten "
+                        f"at v{committed_at} (snapshot v{txn.snapshot_version})"
+                    )
+        return None
+
+    # -- transaction execution ---------------------------------------------------
+    def _execute(self, routed: RoutedRequest):
+        request = routed.request
+        stages = StageTimings()
+        arrived = self.env.now
+        self.executed_count += 1
+
+        # --- version stage: the synchronization start delay -------------
+        if routed.start_version > self.clock.version:
+            yield self.clock.wait_for(routed.start_version)
+            if self.crashed:
+                return
+        stages.version = self.env.now - arrived
+
+        # --- begin on the latest local snapshot (GSI) --------------------
+        txn = self.engine.begin()
+        self._executing[txn.txn_id] = txn
+        ctx = TxnContext(self, txn)
+        template = self.templates[request.template]
+        result: Any = None
+        try:
+            result = template.body(ctx, dict(request.params))
+        except TransactionAborted as exc:
+            self._finish_abort(txn, str(exc))
+            self.early_abort_count += 1
+            self._respond(request, stages, committed=False, abort_reason=str(exc),
+                          snapshot_version=txn.snapshot_version)
+            return
+        except StorageError as exc:
+            self._finish_abort(txn, str(exc))
+            self._respond(request, stages, committed=False, abort_reason=str(exc),
+                          snapshot_version=txn.snapshot_version)
+            return
+        except Exception as exc:  # template bug: abort and report, don't hang
+            reason = f"template {request.template!r} raised {type(exc).__name__}: {exc}"
+            self._finish_abort(txn, reason)
+            self._respond(request, stages, committed=False, abort_reason=reason,
+                          snapshot_version=txn.snapshot_version)
+            return
+
+        # --- queries stage: charge statement service times ----------------
+        query_start = self.env.now
+        for cost in ctx.statement_costs:
+            yield from self.cpu.use(cost)
+            if self.crashed or not txn.is_active:
+                self._finish_abort(txn, "replica crashed")
+                return
+            doom = self._doomed.get(txn.txn_id)
+            if doom is not None:
+                stages.queries = self.env.now - query_start
+                self._finish_abort(txn, doom)
+                self.early_abort_count += 1
+                self._respond(request, stages, committed=False, abort_reason=doom,
+                              snapshot_version=txn.snapshot_version)
+                return
+        stages.queries = self.env.now - query_start
+        self._executing.pop(txn.txn_id, None)
+
+        # --- read-only: commit locally and notify immediately -------------
+        if txn.is_read_only:
+            commit_start = self.env.now
+            yield from self.cpu.use(self.perf.commit(0))
+            if self.crashed or not txn.is_active:
+                self._finish_abort(txn, "replica crashed")
+                return
+            self.engine.commit_read_only(txn)
+            self.committed_count += 1
+            stages.commit = self.env.now - commit_start
+            self._respond(request, stages, committed=True, commit_version=None,
+                          snapshot_version=txn.snapshot_version, result=result)
+            return
+
+        # Final local doom check before involving the certifier.
+        doom = self._doomed.pop(txn.txn_id, None)
+        if doom is not None:
+            self._finish_abort(txn, doom)
+            self.early_abort_count += 1
+            self._respond(request, stages, committed=False, abort_reason=doom,
+                          snapshot_version=txn.snapshot_version)
+            return
+
+        # --- certify stage -----------------------------------------------
+        certify_start = self.env.now
+        writeset = txn.writeset
+        waiter = Event(self.env)
+        self._certify_waiters[request.request_id] = waiter
+        readset = frozenset(txn.read_keys) if self.certify_reads else None
+        self.network.send(
+            self.name,
+            self.certifier_name,
+            CertifyRequest(
+                txn_id=txn.txn_id,
+                origin=self.name,
+                snapshot_version=txn.snapshot_version,
+                writeset=writeset,
+                request_id=request.request_id,
+                readset=readset,
+            ),
+        )
+        try:
+            reply: CertifyReply = yield waiter
+        except CertifierUnavailable as exc:
+            reason = str(exc)
+            self._finish_abort(txn, reason)
+            self._respond(request, stages, committed=False, abort_reason=reason,
+                          snapshot_version=txn.snapshot_version)
+            return
+        if self.crashed or not txn.is_active:
+            self._finish_abort(txn, "replica crashed")
+            return
+        stages.certify = self.env.now - certify_start
+
+        if not reply.certified:
+            reason = (
+                f"certification conflict with committed v{reply.conflict_with}"
+            )
+            self._finish_abort(txn, reason)
+            self._respond(request, stages, committed=False, abort_reason=reason,
+                          snapshot_version=txn.snapshot_version)
+            return
+
+        # --- sync stage: wait for all earlier versions locally ------------
+        commit_version = reply.commit_version
+        sync_start = self.env.now
+        self._reserved.add(commit_version)
+        self._wake_applier()
+        yield self.clock.wait_for(commit_version - 1)
+        if self.crashed:
+            # The decision is durable at the certifier; the local commit is
+            # lost until recovery replay.  No response (client sees failure).
+            self._reserved.discard(commit_version)
+            self._finish_abort(txn, "replica crashed")
+            return
+        stages.sync = self.env.now - sync_start
+
+        # --- commit stage ---------------------------------------------------
+        commit_start = self.env.now
+        yield from self.cpu.use(self.perf.commit(len(writeset)))
+        if self.crashed:
+            self._reserved.discard(commit_version)
+            self._finish_abort(txn, "replica crashed")
+            return
+        self.engine.commit_certified(txn, commit_version)
+        self._reserved.discard(commit_version)
+        self.committed_count += 1
+        self.clock.advance_to(commit_version)
+        self._wake_applier()
+        self._send_commit_applied(commit_version, len(writeset))
+        stages.commit = self.env.now - commit_start
+
+        # --- global stage (EAGER only) ----------------------------------
+        if self.level is ConsistencyLevel.EAGER:
+            global_start = self.env.now
+            notice = Event(self.env)
+            self._global_waiters[request.request_id] = notice
+            try:
+                yield notice
+            except CertifierUnavailable:
+                # The decision is durable and the transaction is committed;
+                # only the global acknowledgment round was lost to the
+                # failover.  Acknowledge the client — the in-flight window's
+                # eager guarantee degrades exactly as in a real failover.
+                pass
+            if self.crashed:
+                return
+            stages.global_ = self.env.now - global_start
+
+        self._respond(
+            request,
+            stages,
+            committed=True,
+            commit_version=commit_version,
+            updated_tables=writeset.tables,
+            snapshot_version=txn.snapshot_version,
+            result=result,
+        )
+
+    # -- helpers -----------------------------------------------------------
+    def _send_commit_applied(self, commit_version: int, writeset_size: int) -> None:
+        """Report this replica's commit of ``commit_version`` to the
+        certifier.
+
+        Lazy configurations report immediately — the replicas run with
+        log-forcing off and the report is pure progress tracking.  Under
+        EAGER the report *is* part of the synchronous commit round, so it
+        first serializes through the replica's log-flush device; the
+        certifier's global-commit counter (and hence the client
+        acknowledgment) waits for it.
+        """
+        if self.level is ConsistencyLevel.EAGER:
+            flush = self.perf.eager_commit_flush(writeset_size)
+            if flush > 0:
+                self.env.process(
+                    self._flush_and_ack(commit_version, flush),
+                    name=f"{self.name}-flush-v{commit_version}",
+                )
+                return
+        self.network.send(
+            self.name, self.certifier_name, CommitApplied(self.name, commit_version)
+        )
+
+    def _flush_and_ack(self, commit_version: int, flush: float):
+        yield from self.flush_device.use(flush)
+        if not self.crashed:
+            self.network.send(
+                self.name, self.certifier_name, CommitApplied(self.name, commit_version)
+            )
+
+    def _finish_abort(self, txn: Transaction, reason: str) -> None:
+        self._executing.pop(txn.txn_id, None)
+        self._doomed.pop(txn.txn_id, None)
+        if txn.is_active:
+            self.engine.abort(txn, reason)
+        self.aborted_count += 1
+
+    def _respond(
+        self,
+        request,
+        stages: StageTimings,
+        committed: bool,
+        commit_version: Optional[int] = None,
+        abort_reason: Optional[str] = None,
+        updated_tables: frozenset = frozenset(),
+        snapshot_version: int = 0,
+        result: Any = None,
+    ) -> None:
+        if self.crashed:
+            return
+        self.network.send(
+            self.name,
+            self.balancer_name,
+            TxnResponse(
+                request_id=request.request_id,
+                session_id=request.session_id,
+                reply_to=request.reply_to,
+                replica=self.name,
+                committed=committed,
+                commit_version=commit_version,
+                abort_reason=abort_reason,
+                replica_version=self.engine.version,
+                updated_tables=frozenset(updated_tables),
+                stages=stages,
+                snapshot_version=snapshot_version,
+                result=result,
+            ),
+        )
+
+    def fail_pending_certifications(self, reason: str) -> None:
+        """Fail every in-flight certification and global-commit wait (used
+        when the certifier fails over)."""
+        for waiter in list(self._certify_waiters.values()):
+            if not waiter.triggered:
+                waiter.fail(CertifierUnavailable(reason))
+        self._certify_waiters.clear()
+        for waiter in list(self._global_waiters.values()):
+            if not waiter.triggered:
+                waiter.fail(CertifierUnavailable(reason))
+        self._global_waiters.clear()
+
+    # -- fault injection -----------------------------------------------------
+    def crash(self) -> None:
+        """Crash the replica: lose soft state, abort active transactions.
+
+        The network drops inbound messages while the endpoint is down; the
+        durable state (the engine's committed data) survives, matching the
+        crash-recovery failure model."""
+        self.crashed = True
+        self._pending_refresh.clear()
+        self._doomed.clear()
+        for txn in list(self.engine.active_transactions):
+            self.engine.abort(txn, "replica crashed")
+        self._executing.clear()
+        self._certify_waiters.clear()
+        self._global_waiters.clear()
+        self._reserved.clear()
+
+    def recover(self) -> None:
+        """Recover: rejoin the network and ask the certifier for the missed
+        decisions (replayed through the normal refresh-application path)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.network.bring_up(self.name)
+        self.network.send(
+            self.name,
+            self.certifier_name,
+            RecoveryRequest(self.name, self.engine.version),
+        )
+        self._wake_applier()

@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate.
+
+The virtual cluster the replicated database runs on: event kernel, shared
+resources (CPUs, queues), network fabric and deterministic random streams.
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopProcess,
+    Timeout,
+)
+from .network import LatencyModel, Mailbox, Network
+from .resources import Request, Resource, Store
+from .rng import Rng, RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "LatencyModel",
+    "Mailbox",
+    "Network",
+    "Process",
+    "Request",
+    "Resource",
+    "Rng",
+    "RngRegistry",
+    "SimulationError",
+    "StopProcess",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,456 @@
+"""Discrete-event simulation kernel.
+
+This module provides the virtual-time substrate on which the replicated
+database prototype runs.  The paper evaluated its prototype on a physical
+cluster; we reproduce the cluster with a deterministic discrete-event
+simulator so the throughput/latency experiments run on a laptop while
+preserving the queueing behaviour that drives the paper's results (see
+DESIGN.md, substitution table).
+
+The design follows the classic process-interaction style (as popularised by
+SimPy, reimplemented here from scratch):
+
+* An :class:`Environment` owns the virtual clock and the event queue.
+* An :class:`Event` is a one-shot occurrence; callbacks run when it fires.
+* A :class:`Process` wraps a Python generator.  The generator *yields*
+  events; the process resumes when the yielded event fires.
+* :class:`Timeout` is an event that fires after a virtual delay.
+
+Time is a ``float`` in **milliseconds** throughout the library, matching the
+units the paper reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "StopProcess",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it with a value.
+
+    ``return value`` inside the generator is the idiomatic way to finish; this
+    exception exists for code that must stop from a helper function.
+    """
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled, value set, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    schedules it; the environment then invokes its callbacks at the current
+    virtual time.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (value decided)."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception when it failed)."""
+        if self._state == _PENDING:
+            raise SimulationError("event value is not available yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire with an exception."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- internal --------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A process: a generator driven by the events it yields.
+
+    The process itself is an event that fires when the generator finishes,
+    with the generator's return value.  Other processes may therefore wait
+    for a process by yielding it.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the process off via an initialisation event.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.env)
+        wakeup.callbacks.append(self._resume_interrupt(cause))
+        wakeup.succeed()
+
+    def _resume_interrupt(self, cause: Any) -> Callable[[Event], None]:
+        def callback(_event: Event) -> None:
+            if not self.is_alive:  # finished in the meantime
+                return
+            self._step(Interrupt(cause), throw=True)
+
+        return callback
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        self.env._active_process = self
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            message = (
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event instances"
+            )
+            self._generator.close()
+            self.fail(SimulationError(message))
+            return
+        if target.env is not self.env:
+            self._generator.close()
+            self.fail(SimulationError("yielded event belongs to another environment"))
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately with its value.
+            immediate = Event(self.env)
+            immediate.callbacks.append(self._resume)
+            immediate.trigger(target)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self, extra: Optional[Event] = None) -> dict[Event, Any]:
+        # Only events whose callbacks already ran have truly *fired*;
+        # Timeout events are born scheduled (triggered) but have not
+        # occurred until processed.  ``extra`` is the event whose firing is
+        # being handled right now (its processed flag flips afterwards).
+        return {
+            event: event._value
+            for event in self._events
+            if event._ok and (event._state == _PROCESSED or event is extra)
+        }
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired.
+
+    The value is a dict mapping each event to its value.  If any constituent
+    fails, the condition fails with that exception.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect(extra=event))
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect(extra=event))
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(5.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._event_counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._event_counter), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event, advancing the clock."""
+        if not self._queue:
+            raise SimulationError("no scheduled events to step")
+        when, _tie, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until no events remain, or until virtual time ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until`` even
+        if the next event lies beyond it.
+        """
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"cannot run until {until}; clock is already at {self._now}"
+                )
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = float(until)
+        else:
+            while self._queue:
+                self.step()
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` fires; return its value (raise on failure).
+
+        Used by the synchronous client facade: schedule a request, then drive
+        the simulation until the response event fires.  ``limit`` bounds the
+        virtual time spent waiting.
+        """
+        while not event.triggered or not event.processed:
+            if not self._queue:
+                raise SimulationError("event will never fire: queue is empty")
+            if self._queue[0][0] > limit:
+                raise SimulationError(f"event did not fire before t={limit}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

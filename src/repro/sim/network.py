@@ -1,0 +1,145 @@
+"""Network model: latency-delayed message delivery between components.
+
+The paper's testbed interconnects all machines with a Gigabit Ethernet
+switch; round-trip latencies are sub-millisecond and message sizes are small
+(writesets, version tags).  We model the network as a full mesh of
+point-to-point links, each applying a base latency plus uniform jitter per
+message.  Bandwidth is not modelled — at the paper's message sizes the
+propagation term dominates, and the paper's own bottlenecks are CPU-side
+(applying refresh writesets), not the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .kernel import Environment
+from .resources import Store
+from .rng import Rng
+
+__all__ = ["LatencyModel", "Mailbox", "Network"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """One-way message latency: ``base + U(0, jitter)`` milliseconds."""
+
+    base: float = 0.1
+    jitter: float = 0.05
+
+    def sample(self, rng: Rng) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+class Mailbox:
+    """A named message endpoint: a FIFO store plus delivery bookkeeping."""
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self._store = Store(env)
+        self.delivered_count = 0
+
+    def deliver(self, message: Any) -> None:
+        """Place a message in the mailbox (called by the network)."""
+        self.delivered_count += 1
+        self._store.put(message)
+
+    def receive(self):
+        """Event that fires with the next message."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+@dataclass
+class _Partition:
+    """Set of endpoint names currently unreachable (for fault injection)."""
+
+    down: set = field(default_factory=set)
+
+
+class Network:
+    """Full-mesh message fabric connecting named endpoints.
+
+    Components register a :class:`Mailbox` under a unique name and send
+    messages with :meth:`send`; delivery happens after a sampled latency.
+    Endpoints can be taken down (crash-recovery failure model): messages to a
+    down endpoint are silently dropped, messages *from* a down endpoint are
+    refused at the call site by the component itself.
+    """
+
+    def __init__(self, env: Environment, rng: Rng, latency: Optional[LatencyModel] = None):
+        self.env = env
+        self.rng = rng
+        self.latency = latency or LatencyModel()
+        self._mailboxes: dict[str, Mailbox] = {}
+        self._partition = _Partition()
+        self.sent_count = 0
+        self.dropped_count = 0
+        self._taps: list[Callable[[str, str, Any], None]] = []
+
+    # -- endpoints ---------------------------------------------------------
+    def register(self, name: str) -> Mailbox:
+        """Create and return the mailbox for endpoint ``name``."""
+        if name in self._mailboxes:
+            raise ValueError(f"endpoint {name!r} already registered")
+        mailbox = Mailbox(self.env, name)
+        self._mailboxes[name] = mailbox
+        return mailbox
+
+    def mailbox(self, name: str) -> Mailbox:
+        """Look up an existing endpoint's mailbox."""
+        return self._mailboxes[name]
+
+    # -- fault injection -----------------------------------------------------
+    def take_down(self, name: str) -> None:
+        """Mark an endpoint as crashed: its inbound messages are dropped."""
+        self._partition.down.add(name)
+
+    def bring_up(self, name: str) -> None:
+        """Mark a crashed endpoint as recovered."""
+        self._partition.down.discard(name)
+
+    def is_down(self, name: str) -> bool:
+        return name in self._partition.down
+
+    # -- observation ---------------------------------------------------------
+    def add_tap(self, tap: Callable[[str, str, Any], None]) -> None:
+        """Register an observer called as ``tap(sender, recipient, message)``
+        for every message handed to :meth:`send` (useful in tests)."""
+        self._taps.append(tap)
+
+    # -- transmission ---------------------------------------------------------
+    def send(self, sender: str, recipient: str, message: Any) -> None:
+        """Send ``message`` to ``recipient``; delivery after sampled latency.
+
+        Messages to a crashed endpoint are dropped (the sender learns of the
+        failure through timeouts at a higher layer, as in the crash-recovery
+        model the paper assumes).
+        """
+        if recipient not in self._mailboxes:
+            raise KeyError(f"unknown endpoint {recipient!r}")
+        for tap in self._taps:
+            tap(sender, recipient, message)
+        self.sent_count += 1
+        if recipient in self._partition.down:
+            self.dropped_count += 1
+            return
+        delay = self.latency.sample(self.rng)
+        mailbox = self._mailboxes[recipient]
+
+        def _deliver(_event, mailbox=mailbox, message=message, recipient=recipient):
+            # Re-check at delivery time: the endpoint may have crashed while
+            # the message was in flight.
+            if recipient in self._partition.down:
+                self.dropped_count += 1
+                return
+            mailbox.deliver(message)
+
+        timer = self.env.timeout(delay)
+        timer.callbacks.append(_deliver)

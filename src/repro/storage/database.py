@@ -1,0 +1,126 @@
+"""A database: a named collection of versioned tables plus the local version
+counter.
+
+The paper counts *database versions*: the database starts at version 0 and
+the version increments each time an update transaction commits.  Each replica
+advances through this sequence at its own pace; :attr:`Database.version` is
+that replica's ``V_local``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from .errors import StorageError, UnknownTableError
+from .schema import TableSchema
+from .table import VersionedTable
+from .writeset import WriteSet
+
+__all__ = ["Database"]
+
+
+class Database:
+    """Tables plus the committed-version counter of one replica."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: dict[str, VersionedTable] = {}
+        self._version = 0
+        # commit_version -> writeset, kept for conflict checks and recovery.
+        self._committed_writesets: dict[int, WriteSet] = {}
+
+    # -- schema ------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> VersionedTable:
+        """Create a table; name must be unique."""
+        if schema.name in self._tables:
+            raise StorageError(f"table {schema.name!r} already exists")
+        table = VersionedTable(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> VersionedTable:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    # -- versions ---------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """This copy's committed database version (``V_local``)."""
+        return self._version
+
+    # -- commit application ---------------------------------------------------
+    def apply_writeset(self, writeset: WriteSet, commit_version: int) -> None:
+        """Install a certified writeset at ``commit_version``.
+
+        Both local commits and refresh transactions funnel through here, so
+        every copy applies the identical mutation sequence in the certifier's
+        total order.  Empty writesets (read-only transactions) do not consume
+        a version and must not be passed.
+        """
+        if writeset.is_empty:
+            raise StorageError("refusing to apply an empty writeset")
+        if commit_version != self._version + 1:
+            raise StorageError(
+                f"out-of-order apply: database at v{self._version}, "
+                f"writeset for v{commit_version}"
+            )
+        for op in writeset:
+            self.table(op.table).apply_op(op, commit_version)
+        self._version = commit_version
+        self._committed_writesets[commit_version] = writeset
+
+    def load_row(self, table: str, values: Mapping[str, Any]) -> None:
+        """Bulk-load one row as part of the initial data set (version 0).
+
+        Initial population is not an update transaction: every replica
+        starts with the identical data set at database version 0, so loads
+        bypass versioning entirely.  Only legal before the first commit.
+        """
+        if self._version != 0:
+            raise StorageError("load_row is only legal before the first commit")
+        tbl = self.table(table)
+        from .writeset import OpKind, WriteOp  # local import avoids cycle
+
+        tbl.apply_op(WriteOp(table, tbl.schema.key_of(values), OpKind.INSERT, values), 0)
+
+    def writesets_since(self, version: int) -> list[tuple[int, WriteSet]]:
+        """(commit_version, writeset) pairs committed after ``version``,
+        ascending.  Used for conflict checks and recovery replay."""
+        return [
+            (v, self._committed_writesets[v])
+            for v in range(version + 1, self._version + 1)
+            if v in self._committed_writesets
+        ]
+
+    def latest_write_version(self, table: str, key: Any) -> int:
+        """Newest commit version that wrote ``(table, key)``; 0 if none."""
+        return self.table(table).latest_commit_version(key)
+
+    # -- maintenance ---------------------------------------------------------
+    def vacuum(self, horizon_version: Optional[int] = None) -> int:
+        """Trim row versions and writeset history below the horizon.
+
+        With no horizon, trims to the current version (only the latest row
+        images survive).  Returns the number of row versions removed.
+        """
+        horizon = self._version if horizon_version is None else horizon_version
+        removed = sum(table.vacuum(horizon) for table in self._tables.values())
+        for version in [v for v in self._committed_writesets if v <= horizon]:
+            del self._committed_writesets[version]
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"<Database {self.name!r} v{self._version} "
+            f"tables={list(self._tables)}>"
+        )

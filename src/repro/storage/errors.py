@@ -1,0 +1,81 @@
+"""Exception hierarchy for the storage engine.
+
+All storage failures derive from :class:`StorageError` so middleware code can
+catch engine-level problems in one place while letting programming errors
+propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StorageError",
+    "SchemaError",
+    "UnknownTableError",
+    "UnknownRowError",
+    "DuplicateKeyError",
+    "WriteConflictError",
+    "TransactionStateError",
+    "TransactionAborted",
+]
+
+
+class StorageError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class SchemaError(StorageError):
+    """Invalid schema definition or a value violating the schema."""
+
+
+class UnknownTableError(StorageError):
+    """Referenced table does not exist in the database."""
+
+    def __init__(self, table: str):
+        super().__init__(f"unknown table {table!r}")
+        self.table = table
+
+
+class UnknownRowError(StorageError):
+    """Referenced row does not exist (or is not visible in the snapshot)."""
+
+    def __init__(self, table: str, key):
+        super().__init__(f"no visible row {key!r} in table {table!r}")
+        self.table = table
+        self.key = key
+
+
+class DuplicateKeyError(StorageError):
+    """Insert with a primary key that is already visible."""
+
+    def __init__(self, table: str, key):
+        super().__init__(f"duplicate key {key!r} in table {table!r}")
+        self.table = table
+        self.key = key
+
+
+class WriteConflictError(StorageError):
+    """First-committer-wins violation: a concurrent committed transaction
+    already wrote one of this transaction's write keys."""
+
+    def __init__(self, table: str, key, snapshot_version: int, committed_version: int):
+        super().__init__(
+            f"write-write conflict on {table!r}:{key!r} — "
+            f"snapshot v{snapshot_version} but key committed at v{committed_version}"
+        )
+        self.table = table
+        self.key = key
+        self.snapshot_version = snapshot_version
+        self.committed_version = committed_version
+
+
+class TransactionStateError(StorageError):
+    """Operation not permitted in the transaction's current state."""
+
+
+class TransactionAborted(StorageError):
+    """The transaction has been aborted (by conflict, certification or
+    early-certification against a refresh writeset)."""
+
+    def __init__(self, reason: str = "transaction aborted"):
+        super().__init__(reason)
+        self.reason = reason

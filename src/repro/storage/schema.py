@@ -1,0 +1,141 @@
+"""Relational schema definitions.
+
+A :class:`TableSchema` names its columns, designates a single-column primary
+key, and may declare secondary indexes.  Values are plain Python objects;
+column types are validated on write so that bad workload code fails loudly
+instead of storing garbage.
+
+The micro-benchmark schema in the paper — primary key (integer), an integer
+field and a 100-character text field — is expressed as::
+
+    TableSchema(
+        "t0",
+        columns=[
+            Column("id", int),
+            Column("filler_int", int),
+            Column("filler_text", str),
+        ],
+        primary_key="id",
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from .errors import SchemaError
+
+__all__ = ["Column", "TableSchema"]
+
+_ALLOWED_TYPES = (int, float, str, bytes, bool)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``type_`` must be one of int/float/str/bytes/bool.  ``nullable`` columns
+    accept ``None``.  bool is checked before int (bool is an int subclass).
+    """
+
+    name: str
+    type_: type
+    nullable: bool = False
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.type_ not in _ALLOWED_TYPES:
+            raise SchemaError(
+                f"column {self.name!r}: unsupported type {self.type_!r}; "
+                f"expected one of {[t.__name__ for t in _ALLOWED_TYPES]}"
+            )
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if self.type_ is int and isinstance(value, bool):
+            raise SchemaError(f"column {self.name!r}: bool given for int column")
+        if self.type_ is float and isinstance(value, int) and not isinstance(value, bool):
+            return  # ints are acceptable floats
+        if not isinstance(value, self.type_):
+            raise SchemaError(
+                f"column {self.name!r}: expected {self.type_.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table: columns, primary key and secondary indexes."""
+
+    name: str
+    columns: Sequence[Column]
+    primary_key: str
+    indexes: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"invalid table name {self.name!r}")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} has no columns")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {self.name!r} has duplicate column names")
+        if self.primary_key not in names:
+            raise SchemaError(
+                f"table {self.name!r}: primary key {self.primary_key!r} "
+                "is not a column"
+            )
+        pk_col = self.column(self.primary_key)
+        if pk_col.nullable:
+            raise SchemaError(f"table {self.name!r}: primary key may not be nullable")
+        for idx in self.indexes:
+            if idx not in names:
+                raise SchemaError(
+                    f"table {self.name!r}: index column {idx!r} is not a column"
+                )
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "indexes", tuple(self.indexes))
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def validate_row(self, values: Mapping[str, Any], partial: bool = False) -> None:
+        """Validate a full row (or, with ``partial=True``, an update's
+        changed columns only)."""
+        known = set(self.column_names)
+        for key in values:
+            if key not in known:
+                raise SchemaError(f"table {self.name!r} has no column {key!r}")
+        if not partial:
+            missing = known - set(values)
+            if missing:
+                raise SchemaError(
+                    f"table {self.name!r}: row missing columns {sorted(missing)}"
+                )
+        for col in self.columns:
+            if col.name in values:
+                col.validate(values[col.name])
+
+    def key_of(self, values: Mapping[str, Any]) -> Any:
+        """Extract the primary-key value from a row mapping."""
+        try:
+            return values[self.primary_key]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r}: row has no primary key "
+                f"column {self.primary_key!r}"
+            ) from None

@@ -1,0 +1,567 @@
+"""A small SQL layer: prepared statements with static table-set extraction.
+
+The paper's fine-grained technique relies on transactions being "a sequence
+of prepared statements, i.e., SQL statements that access a specific set of
+tables but different records depending on the statement parameters"
+(Section III-C) — the table-set is extracted *statically* from the SQL
+text.  This module provides exactly that:
+
+* a tokenizer and recursive-descent parser for the subset the benchmarks
+  need::
+
+      SELECT <cols|*> FROM <table> [WHERE <conds>] [LIMIT <n>]
+      INSERT INTO <table> (<cols>) VALUES (<values>)
+      UPDATE <table> SET col = <expr> [, ...] [WHERE <conds>]
+      DELETE FROM <table> [WHERE <conds>]
+
+  with ``AND``-connected comparisons (``= != < <= > >=``), literals
+  (integers, floats, ``'strings'``, ``NULL``, ``TRUE``/``FALSE``) and named
+  parameters ``:name``; ``SET`` expressions may be ``col + <value>`` /
+  ``col - <value>`` for read-modify-write increments;
+
+* :func:`table_set` — the static table-set of a statement list (what the
+  load balancer's catalog stores);
+
+* an executor that runs parsed statements against a transaction context,
+  choosing a primary-key point read, a secondary-index lookup or a filtered
+  scan, so SQL statements cost exactly what the equivalent programmatic
+  template costs.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from .errors import StorageError
+
+__all__ = [
+    "SqlError",
+    "Literal",
+    "Param",
+    "ColumnRef",
+    "Comparison",
+    "Assignment",
+    "Select",
+    "Insert",
+    "Update",
+    "Delete",
+    "parse",
+    "parse_script",
+    "table_set",
+    "execute",
+]
+
+
+class SqlError(StorageError):
+    """Invalid SQL text or execution-time misuse."""
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<param>:[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),*+\-])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "LIMIT", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "AND", "NULL", "TRUE", "FALSE",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'string' | 'number' | 'param' | 'name' | 'keyword' | 'op' | 'punct'
+    value: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SqlError(f"cannot tokenize SQL at: {remainder[:30]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "name" and value.upper() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.upper()))
+        else:
+            tokens.append(_Token(kind, value))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value in the SQL text."""
+
+    value: Any
+
+    def resolve(self, params: Mapping[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Param:
+    """A named parameter ``:name`` bound at execution time."""
+
+    name: str
+
+    def resolve(self, params: Mapping[str, Any]) -> Any:
+        try:
+            return params[self.name]
+        except KeyError:
+            raise SqlError(f"missing parameter :{self.name}") from None
+
+
+Value = Union[Literal, Param]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A bare column reference (used in SET expressions)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> value`` in a WHERE clause."""
+
+    column: str
+    op: str  # '=', '!=', '<', '<=', '>', '>='
+    value: Value
+
+    def matches(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        actual = row.get(self.column)
+        expected = self.value.resolve(params)
+        if self.op == "=":
+            return actual == expected
+        if self.op == "!=":
+            return actual != expected
+        if actual is None or expected is None:
+            return False
+        if self.op == "<":
+            return actual < expected
+        if self.op == "<=":
+            return actual <= expected
+        if self.op == ">":
+            return actual > expected
+        return actual >= expected
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``col = value`` or ``col = col +/- value`` in a SET clause."""
+
+    column: str
+    value: Value
+    base: Optional[ColumnRef] = None
+    sign: int = 0  # +1 / -1 when base is set
+
+    def compute(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        resolved = self.value.resolve(params)
+        if self.base is None:
+            return resolved
+        current = row.get(self.base.name)
+        if current is None:
+            raise SqlError(f"column {self.base.name!r} is NULL in increment")
+        return current + self.sign * resolved
+
+
+@dataclass(frozen=True)
+class Select:
+    """``SELECT cols FROM table [WHERE ...] [LIMIT n]``"""
+
+    table: str
+    columns: Optional[tuple[str, ...]]  # None = '*'
+    where: tuple[Comparison, ...] = ()
+    limit: Optional[int] = None
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    @property
+    def is_update(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO table (cols) VALUES (vals)``"""
+
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Value, ...]
+
+    def __post_init__(self):
+        if len(self.columns) != len(self.values):
+            raise SqlError(
+                f"INSERT into {self.table!r}: {len(self.columns)} columns "
+                f"but {len(self.values)} values"
+            )
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    @property
+    def is_update(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Update:
+    """``UPDATE table SET ... [WHERE ...]``"""
+
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: tuple[Comparison, ...] = ()
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    @property
+    def is_update(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM table [WHERE ...]``"""
+
+    table: str
+    where: tuple[Comparison, ...] = ()
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    @property
+    def is_update(self) -> bool:
+        return True
+
+
+Statement = Union[Select, Insert, Update, Delete]
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SqlError(f"unexpected end of SQL: {self.text!r}")
+        self.position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.value != keyword:
+            raise SqlError(f"expected {keyword}, got {token.value!r} in {self.text!r}")
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.value == keyword:
+            self.position += 1
+            return True
+        return False
+
+    def _expect_punct(self, punct: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != punct:
+            raise SqlError(f"expected {punct!r}, got {token.value!r} in {self.text!r}")
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.value == punct:
+            self.position += 1
+            return True
+        return False
+
+    def _expect_name(self) -> str:
+        token = self._next()
+        if token.kind != "name":
+            raise SqlError(f"expected identifier, got {token.value!r} in {self.text!r}")
+        return token.value
+
+    # -- grammar -------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        token = self._peek()
+        if token is None:
+            raise SqlError("empty SQL statement")
+        if token.kind != "keyword":
+            raise SqlError(f"SQL must start with a verb, got {token.value!r}")
+        verb = token.value
+        if verb == "SELECT":
+            statement = self._select()
+        elif verb == "INSERT":
+            statement = self._insert()
+        elif verb == "UPDATE":
+            statement = self._update()
+        elif verb == "DELETE":
+            statement = self._delete()
+        else:
+            raise SqlError(f"unsupported SQL verb {verb!r}")
+        if self._peek() is not None:
+            raise SqlError(f"trailing tokens after statement in {self.text!r}")
+        return statement
+
+    def _select(self) -> Select:
+        self._expect_keyword("SELECT")
+        columns: Optional[tuple[str, ...]]
+        if self._accept_punct("*"):
+            columns = None
+        else:
+            names = [self._expect_name()]
+            while self._accept_punct(","):
+                names.append(self._expect_name())
+            columns = tuple(names)
+        self._expect_keyword("FROM")
+        table = self._expect_name()
+        where = self._where_opt()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._next()
+            if token.kind != "number" or "." in token.value:
+                raise SqlError(f"LIMIT requires an integer, got {token.value!r}")
+            limit = int(token.value)
+            if limit < 0:
+                raise SqlError("LIMIT must be non-negative")
+        return Select(table=table, columns=columns, where=where, limit=limit)
+
+    def _insert(self) -> Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_name()
+        self._expect_punct("(")
+        columns = [self._expect_name()]
+        while self._accept_punct(","):
+            columns.append(self._expect_name())
+        self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        self._expect_punct("(")
+        values = [self._value()]
+        while self._accept_punct(","):
+            values.append(self._value())
+        self._expect_punct(")")
+        return Insert(table=table, columns=tuple(columns), values=tuple(values))
+
+    def _update(self) -> Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_name()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._assignment())
+        where = self._where_opt()
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _delete(self) -> Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_name()
+        return Delete(table=table, where=self._where_opt())
+
+    def _assignment(self) -> Assignment:
+        column = self._expect_name()
+        token = self._next()
+        if token.kind != "op" or token.value != "=":
+            raise SqlError(f"expected '=' in assignment, got {token.value!r}")
+        # Either a plain value, or `col (+|-) value`.
+        peek = self._peek()
+        if peek is not None and peek.kind == "name":
+            base = ColumnRef(self._expect_name())
+            sign_token = self._next()
+            if sign_token.kind != "punct" or sign_token.value not in "+-":
+                raise SqlError(
+                    f"expected '+' or '-' after column in assignment, "
+                    f"got {sign_token.value!r}"
+                )
+            value = self._value()
+            return Assignment(
+                column=column, value=value, base=base,
+                sign=1 if sign_token.value == "+" else -1,
+            )
+        return Assignment(column=column, value=self._value())
+
+    def _where_opt(self) -> tuple[Comparison, ...]:
+        if not self._accept_keyword("WHERE"):
+            return ()
+        comparisons = [self._comparison()]
+        while self._accept_keyword("AND"):
+            comparisons.append(self._comparison())
+        return tuple(comparisons)
+
+    def _comparison(self) -> Comparison:
+        column = self._expect_name()
+        token = self._next()
+        if token.kind != "op":
+            raise SqlError(f"expected comparison operator, got {token.value!r}")
+        op = "!=" if token.value == "<>" else token.value
+        return Comparison(column=column, op=op, value=self._value())
+
+    def _value(self) -> Value:
+        token = self._next()
+        if token.kind == "param":
+            return Param(token.value[1:])
+        if token.kind == "number":
+            return Literal(float(token.value) if "." in token.value else int(token.value))
+        if token.kind == "string":
+            return Literal(token.value[1:-1].replace("''", "'"))
+        if token.kind == "keyword" and token.value == "NULL":
+            return Literal(None)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            return Literal(token.value == "TRUE")
+        raise SqlError(f"expected a value, got {token.value!r} in {self.text!r}")
+
+
+def parse(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return _Parser(_tokenize(text), text).parse_statement()
+
+
+def parse_script(statements: Iterable[str]) -> tuple[Statement, ...]:
+    """Parse a sequence of SQL statements (a prepared transaction body)."""
+    return tuple(parse(text) for text in statements)
+
+
+def table_set(statements: Iterable[Union[str, Statement]]) -> frozenset[str]:
+    """The static table-set of a statement list — Section III-C's
+    "statically extract the table-set that the transaction accesses"."""
+    tables: set[str] = set()
+    for statement in statements:
+        parsed = parse(statement) if isinstance(statement, str) else statement
+        tables |= parsed.tables
+    return frozenset(tables)
+
+
+# ---------------------------------------------------------------------------
+# Execution against a transaction context
+# ---------------------------------------------------------------------------
+
+def _pk_equality(where, schema, params) -> Optional[Any]:
+    """The primary-key value when the WHERE clause pins it, else None."""
+    for comparison in where:
+        if comparison.op == "=" and comparison.column == schema.primary_key:
+            return comparison.value.resolve(params)
+    return None
+
+
+def _indexed_equality(where, schema, params) -> Optional[tuple[str, Any]]:
+    """An (indexed column, value) pair usable for an index lookup."""
+    for comparison in where:
+        if comparison.op == "=" and comparison.column in schema.indexes:
+            return comparison.column, comparison.value.resolve(params)
+    return None
+
+
+def _project(row: Mapping[str, Any], columns) -> dict:
+    if columns is None:
+        return dict(row)
+    return {column: row.get(column) for column in columns}
+
+
+def _matching_rows(ctx, statement, params) -> list[dict]:
+    """Rows matching a WHERE clause, via the cheapest access path."""
+    schema = ctx.schema(statement.table)
+    where = statement.where
+
+    def residual(row) -> bool:
+        return all(c.matches(row, params) for c in where)
+
+    key = _pk_equality(where, schema, params)
+    if key is not None:
+        row = ctx.read(statement.table, key)
+        return [dict(row)] if row is not None and residual(row) else []
+    indexed = _indexed_equality(where, schema, params)
+    if indexed is not None:
+        column, value = indexed
+        keys = ctx.lookup(statement.table, column, value)
+        rows = []
+        for k in keys:
+            row = ctx.read(statement.table, k)
+            if row is not None and residual(row):
+                rows.append(dict(row))
+        return rows
+    return [dict(r) for r in ctx.scan(statement.table, predicate=residual)]
+
+
+def execute(ctx, statement: Union[str, Statement], params: Optional[Mapping[str, Any]] = None):
+    """Execute one statement against a transaction context.
+
+    Returns a list of row dicts for SELECT and the affected-row count for
+    INSERT/UPDATE/DELETE.  The context's usual statement costs and early
+    certification apply, because execution goes through the context's own
+    read/lookup/scan/insert/update/delete methods.
+    """
+    parsed = parse(statement) if isinstance(statement, str) else statement
+    params = dict(params or {})
+
+    if isinstance(parsed, Select):
+        rows = _matching_rows(ctx, parsed, params)
+        if parsed.limit is not None:
+            rows = rows[: parsed.limit]
+        return [_project(row, parsed.columns) for row in rows]
+
+    if isinstance(parsed, Insert):
+        values = {
+            column: value.resolve(params)
+            for column, value in zip(parsed.columns, parsed.values)
+        }
+        ctx.insert(parsed.table, values)
+        return 1
+
+    if isinstance(parsed, Update):
+        schema = ctx.schema(parsed.table)
+        rows = _matching_rows(ctx, parsed, params)
+        for row in rows:
+            changes = {
+                a.column: a.compute(row, params) for a in parsed.assignments
+            }
+            ctx.update(parsed.table, row[schema.primary_key], changes)
+        return len(rows)
+
+    if isinstance(parsed, Delete):
+        schema = ctx.schema(parsed.table)
+        rows = _matching_rows(ctx, parsed, params)
+        for row in rows:
+            ctx.delete(parsed.table, row[schema.primary_key])
+        return len(rows)
+
+    raise SqlError(f"unsupported statement type {type(parsed).__name__}")

@@ -1,0 +1,140 @@
+"""Versioned table: primary index of version chains plus secondary indexes.
+
+A :class:`VersionedTable` stores every committed version of every row (until
+vacuumed) and answers snapshot reads and scans.  Secondary indexes map a
+column value to the set of keys that *ever* held that value; lookups filter
+candidates through snapshot visibility, so index reads are as consistent as
+primary reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping, Optional
+
+from .errors import SchemaError
+from .rows import RowVersion, VersionChain
+from .schema import TableSchema
+from .writeset import OpKind, WriteOp
+
+__all__ = ["VersionedTable"]
+
+
+class VersionedTable:
+    """All committed state of one table, multiversioned."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._chains: dict[Any, VersionChain] = {}
+        self._indexes: dict[str, dict[Any, set]] = {col: {} for col in schema.indexes}
+
+    # -- reads --------------------------------------------------------------
+    def read(self, key: Any, snapshot_version: int) -> Optional[Mapping[str, Any]]:
+        """Row values visible at ``snapshot_version``, or None."""
+        chain = self._chains.get(key)
+        if chain is None:
+            return None
+        version = chain.visible_at(snapshot_version)
+        return None if version is None else version.values
+
+    def exists(self, key: Any, snapshot_version: int) -> bool:
+        """True when ``key`` is visible at ``snapshot_version``."""
+        chain = self._chains.get(key)
+        return chain is not None and chain.exists_at(snapshot_version)
+
+    def latest_commit_version(self, key: Any) -> int:
+        """Newest commit version that wrote ``key`` (0 if never written)."""
+        chain = self._chains.get(key)
+        return 0 if chain is None else chain.latest_commit_version
+
+    def scan(
+        self,
+        snapshot_version: int,
+        predicate: Optional[Callable[[Mapping[str, Any]], bool]] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Mapping[str, Any]]:
+        """Yield visible rows (optionally filtered), in key order."""
+        count = 0
+        for key in sorted(self._chains, key=_sort_token):
+            values = self.read(key, snapshot_version)
+            if values is None:
+                continue
+            if predicate is not None and not predicate(values):
+                continue
+            yield values
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+    def lookup(self, column: str, value: Any, snapshot_version: int) -> list:
+        """Keys of visible rows whose ``column`` equals ``value``.
+
+        Uses the secondary index when one exists, otherwise falls back to a
+        scan.  Candidates from the index are re-checked against the snapshot
+        (the index covers all historical values).
+        """
+        if column in self._indexes:
+            keys = []
+            for key in self._indexes[column].get(value, ()):
+                row = self.read(key, snapshot_version)
+                if row is not None and row.get(column) == value:
+                    keys.append(key)
+            return sorted(keys, key=_sort_token)
+        if column not in self.schema.column_names:
+            raise SchemaError(f"table {self.schema.name!r} has no column {column!r}")
+        return [
+            row[self.schema.primary_key]
+            for row in self.scan(snapshot_version, lambda r: r.get(column) == value)
+        ]
+
+    def count(self, snapshot_version: int) -> int:
+        """Number of visible rows at ``snapshot_version``."""
+        return sum(
+            1 for chain in self._chains.values() if chain.exists_at(snapshot_version)
+        )
+
+    # -- writes -----------------------------------------------------------
+    def apply_op(self, op: WriteOp, commit_version: int) -> None:
+        """Install one committed mutation at ``commit_version``.
+
+        Called by the engine on local commit and on refresh application;
+        the certifier's total order guarantees increasing commit versions
+        per chain.
+        """
+        if op.table != self.schema.name:
+            raise SchemaError(
+                f"op for table {op.table!r} applied to {self.schema.name!r}"
+            )
+        chain = self._chains.get(op.key)
+        if chain is None:
+            chain = self._chains[op.key] = VersionChain()
+        if op.kind is OpKind.DELETE:
+            chain.append(RowVersion(commit_version, None, deleted=True))
+            return
+        self.schema.validate_row(op.values)
+        if self.schema.key_of(op.values) != op.key:
+            raise SchemaError(
+                f"table {self.schema.name!r}: op key {op.key!r} does not match "
+                f"row primary key {self.schema.key_of(op.values)!r}"
+            )
+        chain.append(RowVersion(commit_version, op.values))
+        for column, index in self._indexes.items():
+            index.setdefault(op.values[column], set()).add(op.key)
+
+    # -- maintenance ---------------------------------------------------------
+    def vacuum(self, horizon_version: int) -> int:
+        """Trim version chains below the snapshot horizon; returns versions
+        removed."""
+        return sum(chain.vacuum(horizon_version) for chain in self._chains.values())
+
+    def version_count(self) -> int:
+        """Total stored versions across all chains (storage footprint)."""
+        return sum(len(chain) for chain in self._chains.values())
+
+    def __len__(self) -> int:
+        """Number of keys ever written (including tombstoned)."""
+        return len(self._chains)
+
+
+def _sort_token(key: Any) -> tuple:
+    """Stable ordering across mixed key types."""
+    return (type(key).__name__, key)

@@ -1,0 +1,124 @@
+"""Writesets: the unit of certification and propagation.
+
+A transaction's writeset is the set of records it inserted, updated or
+deleted (Section IV of the paper).  The certifier checks writesets against
+each other for write-write conflicts; committed writesets travel to the other
+replicas as *refresh transactions* and are applied there.
+
+A :class:`WriteOp` carries the full after-image of the row (or a tombstone),
+so applying a refresh writeset needs no re-execution — exactly the
+propagation model of the paper's middleware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Optional
+
+__all__ = ["OpKind", "WriteOp", "WriteSet"]
+
+
+class OpKind(enum.Enum):
+    """Kind of a single row mutation."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One row mutation: table, primary key, kind and the row after-image."""
+
+    table: str
+    key: Any
+    kind: OpKind
+    values: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self):
+        if self.kind is OpKind.DELETE:
+            object.__setattr__(self, "values", None)
+        else:
+            if self.values is None:
+                raise ValueError(f"{self.kind.value} op requires row values")
+            object.__setattr__(self, "values", dict(self.values))
+
+
+class WriteSet:
+    """An ordered collection of :class:`WriteOp`, at most one per row.
+
+    Later ops on the same (table, key) replace earlier ones with the natural
+    composition (e.g. INSERT then UPDATE collapses to INSERT with the updated
+    image; INSERT then DELETE cancels out to DELETE-of-nothing which we keep
+    as a tombstone only if the row pre-existed — the engine resolves that at
+    buffering time, so here replacement is last-writer-wins on kind+image).
+    """
+
+    __slots__ = ("_ops", "_order")
+
+    def __init__(self, ops: Iterable[WriteOp] = ()):
+        self._ops: dict[tuple[str, Any], WriteOp] = {}
+        self._order: list[tuple[str, Any]] = []
+        for op in ops:
+            self.add(op)
+
+    # -- construction ------------------------------------------------------
+    def add(self, op: WriteOp) -> None:
+        """Add (or replace) the op for ``(op.table, op.key)``."""
+        slot = (op.table, op.key)
+        if slot not in self._ops:
+            self._order.append(slot)
+        self._ops[slot] = op
+
+    # -- inspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    def __iter__(self) -> Iterator[WriteOp]:
+        for slot in self._order:
+            yield self._ops[slot]
+
+    def __contains__(self, slot: tuple[str, Any]) -> bool:
+        return slot in self._ops
+
+    @property
+    def is_empty(self) -> bool:
+        """True for a read-only transaction's writeset."""
+        return not self._ops
+
+    @property
+    def tables(self) -> frozenset[str]:
+        """The set of tables this writeset touches (drives table versions)."""
+        return frozenset(table for table, _key in self._ops)
+
+    def keys_for(self, table: str) -> frozenset:
+        """Primary keys written in ``table``."""
+        return frozenset(key for tbl, key in self._ops if tbl == table)
+
+    def op_for(self, table: str, key: Any) -> Optional[WriteOp]:
+        """The op on ``(table, key)``, if any."""
+        return self._ops.get((table, key))
+
+    # -- conflict detection ---------------------------------------------------
+    def conflicts_with(self, other: "WriteSet") -> bool:
+        """Write-write conflict test: any (table, key) written by both.
+
+        This is the certifier's conflict predicate (Section IV): a
+        transaction T can commit iff its writeset does not write-conflict
+        with the writesets committed since T started.
+        """
+        mine, theirs = self._ops, other._ops
+        if len(theirs) < len(mine):
+            mine, theirs = theirs, mine
+        return any(slot in theirs for slot in mine)
+
+    def conflicting_slots(self, other: "WriteSet") -> frozenset[tuple[str, Any]]:
+        """The (table, key) slots written by both writesets."""
+        return frozenset(slot for slot in self._ops if slot in other._ops)
+
+    def __repr__(self) -> str:
+        return f"<WriteSet ops={len(self._ops)} tables={sorted(self.tables)}>"

@@ -1,0 +1,101 @@
+"""Closed-loop clients — the remote terminal emulator (RTE).
+
+The paper drives the system with a multi-threaded RTE in which each thread
+represents one client issuing requests in a closed loop: submit a
+transaction, wait for the outcome, think, repeat.  Each client is one
+simulation process here.  A client's identifier doubles as its session
+identifier — the SESSION configuration tracks versions per client, exactly
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..metrics.collector import MetricsCollector, TxnSample
+from ..middleware.messages import ClientRequest, next_request_id
+from ..sim.kernel import Environment
+from ..sim.network import Network
+from ..sim.rng import RngRegistry
+from .base import Workload
+
+__all__ = ["ClientPool"]
+
+
+class ClientPool:
+    """Spawns and owns the closed-loop client processes of one run."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        workload: Workload,
+        collector: MetricsCollector,
+        balancer_name: str = "lb",
+        rngs: Optional[RngRegistry] = None,
+        retry_aborts: bool = False,
+        retry_backoff_ms: float = 5.0,
+    ):
+        self.env = env
+        self.network = network
+        self.workload = workload
+        self.collector = collector
+        self.balancer_name = balancer_name
+        self.rngs = rngs if rngs is not None else RngRegistry(0)
+        self.retry_aborts = retry_aborts
+        self.retry_backoff_ms = retry_backoff_ms
+        self.client_ids: list[str] = []
+        self.completed = 0
+
+    def spawn(self, count: int, prefix: str = "client") -> list[str]:
+        """Create ``count`` clients; returns their identifiers."""
+        created = []
+        for _ in range(count):
+            client_id = f"{prefix}-{len(self.client_ids)}"
+            self.client_ids.append(client_id)
+            created.append(client_id)
+            mailbox = self.network.register(client_id)
+            self.env.process(
+                self._client_loop(client_id, mailbox), name=f"{client_id}-loop"
+            )
+        return created
+
+    def _client_loop(self, client_id: str, mailbox):
+        mix_rng = self.rngs.stream(f"{client_id}:mix")
+        think_rng = self.rngs.stream(f"{client_id}:think")
+        catalog = self.workload.catalog()
+        while True:
+            call = self.workload.next_call(client_id, mix_rng)
+            template = catalog.get(call.template)
+            is_update = template.is_update if template is not None else False
+            attempts = 0
+            while True:
+                attempts += 1
+                submit_time = self.env.now
+                request = ClientRequest(
+                    request_id=next_request_id(),
+                    template=call.template,
+                    params=call.params,
+                    session_id=client_id,
+                    reply_to=client_id,
+                    submit_time=submit_time,
+                )
+                self.network.send(client_id, self.balancer_name, request)
+                response = yield mailbox.receive()
+                self.completed += 1
+                self.collector.record(
+                    TxnSample(
+                        template=call.template,
+                        is_update=is_update,
+                        committed=response.committed,
+                        submit_time=submit_time,
+                        ack_time=self.env.now,
+                        stages=response.stages,
+                    )
+                )
+                if response.committed or not self.retry_aborts:
+                    break
+                yield self.env.timeout(self.retry_backoff_ms)
+            think = self.workload.think_time_ms(client_id, think_rng)
+            if think > 0:
+                yield self.env.timeout(think)

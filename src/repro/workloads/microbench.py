@@ -1,0 +1,139 @@
+"""The paper's customized micro-benchmark (Section V-B).
+
+Database: 4 tables of 10,000 records each; every table has an integer
+primary key, an integer field and a 100-character text field.
+
+Workload: 40 transaction types; each either retrieves or updates one random
+record of one table.  The read-only/update ratio varies between 0/40 and
+40/0 — :class:`MicroBenchmark` takes the number of update types out of 40
+(or any total).  Clients issue uniformly chosen transaction types
+back-to-back in a closed loop (no think time).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..middleware.perfmodel import PerformanceParams
+from ..sim.rng import Rng
+from ..storage.database import Database
+from ..storage.schema import Column, TableSchema
+from .base import TemplateCatalog, TransactionTemplate, TxnCall, Workload
+
+__all__ = ["MicroBenchmark"]
+
+_FILLER = "x" * 100
+
+
+def _read_body(tables: tuple[str, ...]):
+    def body(ctx, params):
+        rows = [ctx.read(table, params["key"]) for table in tables]
+        return rows[0] if len(rows) == 1 else rows
+
+    body.__name__ = f"read_{'_'.join(tables)}"
+    return body
+
+
+def _update_body(tables: tuple[str, ...]):
+    def body(ctx, params):
+        result = None
+        for table in tables:
+            row = ctx.read_required(table, params["key"])
+            ctx.update(table, params["key"], {"payload": row["payload"] + 1})
+            result = row["payload"] + 1
+        return result
+
+    body.__name__ = f"update_{'_'.join(tables)}"
+    return body
+
+
+class MicroBenchmark(Workload):
+    """4 tables x N records; single-record read or update transactions."""
+
+    name = "microbench"
+
+    def __init__(
+        self,
+        update_types: int = 10,
+        total_types: int = 40,
+        num_tables: int = 4,
+        rows_per_table: int = 10_000,
+        tables_per_txn: int = 1,
+    ):
+        if not 0 <= update_types <= total_types:
+            raise ValueError("update_types must be within [0, total_types]")
+        if total_types % num_tables:
+            raise ValueError("total_types must be a multiple of num_tables")
+        if not 1 <= tables_per_txn <= num_tables:
+            raise ValueError("tables_per_txn must be within [1, num_tables]")
+        self.update_types = update_types
+        self.total_types = total_types
+        self.num_tables = num_tables
+        self.rows_per_table = rows_per_table
+        #: tables each transaction touches (1 in the paper; the table-set
+        #: ablation bench raises it to shrink SC-FINE's advantage)
+        self.tables_per_txn = tables_per_txn
+        self.tables = [f"t{i}" for i in range(num_tables)]
+        self._catalog = self._build_catalog()
+
+    @property
+    def update_fraction(self) -> float:
+        """Fraction of transaction types that are updates."""
+        return self.update_types / self.total_types
+
+    def _build_catalog(self) -> TemplateCatalog:
+        catalog = TemplateCatalog()
+        # Types are dealt round-robin over the tables; the first
+        # ``update_types`` of them are updates, the rest reads — every table
+        # gets the same read/update split, as in the paper's uniform mix.
+        for type_index in range(self.total_types):
+            tables = tuple(
+                self.tables[(type_index + offset) % self.num_tables]
+                for offset in range(self.tables_per_txn)
+            )
+            is_update = type_index < self.update_types
+            kind = "update" if is_update else "read"
+            catalog.register(
+                TransactionTemplate(
+                    name=f"micro-{kind}-{type_index}",
+                    table_set=frozenset(tables),
+                    body=_update_body(tables) if is_update else _read_body(tables),
+                    is_update=is_update,
+                )
+            )
+        return catalog
+
+    # -- Workload interface ----------------------------------------------------
+    def schemas(self) -> Sequence[TableSchema]:
+        return [
+            TableSchema(
+                name=table,
+                columns=[
+                    Column("id", int),
+                    Column("payload", int),
+                    Column("filler", str),
+                ],
+                primary_key="id",
+            )
+            for table in self.tables
+        ]
+
+    def catalog(self) -> TemplateCatalog:
+        return self._catalog
+
+    def populate(self, database: Database, rng: Rng) -> None:
+        for table in self.tables:
+            for key in range(1, self.rows_per_table + 1):
+                database.load_row(
+                    table, {"id": key, "payload": rng.randint(0, 1000), "filler": _FILLER}
+                )
+
+    def next_call(self, client_id: str, rng: Rng) -> TxnCall:
+        template = rng.choice(self._catalog.names)
+        return TxnCall(template, {"key": rng.randint(1, self.rows_per_table)})
+
+    def think_time_ms(self, client_id: str, rng: Rng) -> float:
+        return 0.0  # back-to-back, as in the paper
+
+    def performance_params(self) -> PerformanceParams:
+        return PerformanceParams()

@@ -1,0 +1,150 @@
+"""Trace-driven workloads: record a run's transaction calls, replay them.
+
+Comparing two consistency configurations on a *stochastic* workload mixes
+two sources of variance: the configurations and the draw of transactions.
+A trace pins the second one down — record the exact call sequence each
+client issued once, then replay it verbatim under every configuration, so
+differences are attributable to the configurations alone (paired
+comparison).
+
+* :class:`TraceRecorder` wraps any workload and records each client's call
+  sequence as it is generated;
+* :meth:`TraceRecorder.freeze` produces a :class:`TraceWorkload` that
+  replays those sequences deterministically (wrapping around when a client
+  exhausts its recorded calls, so run length is unconstrained);
+* traces serialize to JSON-lines for archival
+  (:meth:`TraceWorkload.save` / :meth:`TraceWorkload.load`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from ..sim.rng import Rng
+from ..storage.database import Database
+from .base import TemplateCatalog, TxnCall, Workload
+
+__all__ = ["TraceRecorder", "TraceWorkload"]
+
+
+class TraceRecorder(Workload):
+    """A pass-through workload that records every generated call."""
+
+    def __init__(self, inner: Workload):
+        self.inner = inner
+        self.name = f"{inner.name}-recorder"
+        self.calls: dict[str, list[TxnCall]] = {}
+
+    # -- recording pass-through ---------------------------------------------
+    def next_call(self, client_id: str, rng: Rng) -> TxnCall:
+        call = self.inner.next_call(client_id, rng)
+        self.calls.setdefault(client_id, []).append(call)
+        return call
+
+    def freeze(self) -> "TraceWorkload":
+        """The recorded trace as a replayable workload."""
+        return TraceWorkload(self.inner, {
+            client: list(calls) for client, calls in self.calls.items()
+        })
+
+    # -- delegation -----------------------------------------------------------
+    def schemas(self):
+        return self.inner.schemas()
+
+    def catalog(self) -> TemplateCatalog:
+        return self.inner.catalog()
+
+    def populate(self, database: Database, rng: Rng) -> None:
+        self.inner.populate(database, rng)
+
+    def think_time_ms(self, client_id: str, rng: Rng) -> float:
+        return self.inner.think_time_ms(client_id, rng)
+
+    def performance_params(self):
+        return self.inner.performance_params()
+
+
+class TraceWorkload(Workload):
+    """Replays recorded per-client call sequences deterministically."""
+
+    def __init__(self, base: Workload, calls: dict[str, list[TxnCall]]):
+        if not calls:
+            raise ValueError("trace has no recorded calls")
+        for client, sequence in calls.items():
+            if not sequence:
+                raise ValueError(f"trace for client {client!r} is empty")
+        self.base = base
+        self.name = f"{base.name}-trace"
+        self._calls = calls
+        self._cursor: dict[str, int] = {client: 0 for client in calls}
+
+    # -- replay --------------------------------------------------------------
+    def next_call(self, client_id: str, rng: Rng) -> TxnCall:
+        sequence = self._calls.get(client_id)
+        if sequence is None:
+            # Unknown client: replay round-robin over the recorded clients
+            # so extra clients still issue representative traffic.
+            donor = sorted(self._calls)[hash(client_id) % len(self._calls)]
+            sequence = self._calls[donor]
+            client_id = donor
+        index = self._cursor[client_id]
+        self._cursor[client_id] = (index + 1) % len(sequence)
+        return sequence[index]
+
+    @property
+    def total_calls(self) -> int:
+        """Recorded calls across all clients."""
+        return sum(len(sequence) for sequence in self._calls.values())
+
+    @property
+    def clients(self) -> tuple[str, ...]:
+        return tuple(sorted(self._calls))
+
+    def reset(self) -> None:
+        """Rewind every client's cursor (fresh replay)."""
+        for client in self._cursor:
+            self._cursor[client] = 0
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the trace as JSON lines: one record per call."""
+        with open(path, "w", encoding="utf-8") as f:
+            for client in sorted(self._calls):
+                for call in self._calls[client]:
+                    f.write(json.dumps({
+                        "client": client,
+                        "template": call.template,
+                        "params": dict(call.params),
+                    }, sort_keys=True) + "\n")
+
+    @staticmethod
+    def load(base: Workload, path: str) -> "TraceWorkload":
+        """Rebuild a trace written by :meth:`save`."""
+        calls: dict[str, list[TxnCall]] = {}
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                calls.setdefault(record["client"], []).append(
+                    TxnCall(record["template"], record["params"])
+                )
+        return TraceWorkload(base, calls)
+
+    # -- delegation -----------------------------------------------------------
+    def schemas(self):
+        return self.base.schemas()
+
+    def catalog(self) -> TemplateCatalog:
+        return self.base.catalog()
+
+    def populate(self, database: Database, rng: Rng) -> None:
+        self.base.populate(database, rng)
+
+    def think_time_ms(self, client_id: str, rng: Rng) -> float:
+        return self.base.think_time_ms(client_id, rng)
+
+    def performance_params(self):
+        return self.base.performance_params()

@@ -1,0 +1,70 @@
+"""Tests for the per-figure experiment functions (tiny configurations)."""
+
+import pytest
+
+from repro.bench import LEVELS, SeriesResult, fig3, table1
+from repro.bench.experiments import _micro_config
+from repro.bench.runner import run_experiment
+from repro.core import ConsistencyLevel
+
+
+class TestTable1:
+    def test_matches_paper_rows(self):
+        rendered = table1()
+        lines = rendered.splitlines()
+        # The six transaction rows of Table I, exactly as published.
+        expected = [
+            ("T1", "1", "1", "0", "0"),
+            ("T2", "2", "1", "2", "2"),
+            ("T3", "3", "1", "3", "2"),
+            ("T4", "4", "1", "3", "4"),
+            ("T5", "5", "1", "5", "5"),
+            ("T6", "6", "6", "5", "5"),
+        ]
+        for name, v_system, v_a, v_b, v_c in expected:
+            row = next(line for line in lines if line.strip().startswith(name))
+            cells = row.split()
+            assert cells[-4:] == [v_system, v_a, v_b, v_c]
+
+    def test_t6_start_requirements_in_footer(self):
+        rendered = table1()
+        assert "SC-FINE V_local >= 1" in rendered
+        assert "SC-COARSE V_local >= 5" in rendered
+
+
+class TestSeriesResult:
+    def test_render_and_value(self):
+        series = SeriesResult(
+            title="x", x_label="n", x_values=[1, 2],
+            series={"A": [10.0, 20.0]},
+        )
+        assert series.value("A", 2) == 20.0
+        assert "A" in series.render()
+
+
+class TestMicroConfig:
+    def test_quick_config_is_small(self):
+        cfg = _micro_config(ConsistencyLevel.SESSION, 10, quick=True, seed=0)
+        workload = cfg.workload_factory()
+        assert workload.rows_per_table == 1_000
+        assert cfg.measure_ms < 10_000
+
+    def test_full_config_matches_paper_scale(self):
+        cfg = _micro_config(ConsistencyLevel.SESSION, 10, quick=False, seed=0)
+        workload = cfg.workload_factory()
+        assert workload.rows_per_table == 10_000
+        assert cfg.num_replicas == 8
+
+
+@pytest.mark.slow
+class TestFig3Tiny:
+    def test_fig3_shape_on_two_points(self):
+        """A two-point Figure 3: equal at 0 % updates, EAGER behind at 100 %."""
+        result = fig3(quick=True, update_types=(0, 40))
+        assert result.x_values == [0, 100]
+        at_zero = {label: result.value(label, 0) for label in result.series}
+        # All configurations identical on a read-only workload.
+        assert len({round(v, 3) for v in at_zero.values()}) == 1
+        eager = result.value(ConsistencyLevel.EAGER.label, 100)
+        session = result.value(ConsistencyLevel.SESSION.label, 100)
+        assert eager < 0.8 * session

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase
+from repro.metrics import MetricsCollector
+from repro.sim import Environment, RngRegistry
+from repro.storage import Column, StorageEngine, TableSchema
+from repro.workloads import MicroBenchmark
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random stream."""
+    return RngRegistry(1234).stream("test")
+
+
+@pytest.fixture
+def engine():
+    """A standalone storage engine with one simple table ``t`` (id, v)."""
+    eng = StorageEngine()
+    eng.create_table(
+        TableSchema("t", [Column("id", int), Column("v", int)], "id")
+    )
+    return eng
+
+
+@pytest.fixture
+def two_table_engine():
+    """A storage engine with tables ``a`` and ``b``."""
+    eng = StorageEngine()
+    for name in ("a", "b"):
+        eng.create_table(
+            TableSchema(name, [Column("id", int), Column("v", int)], "id")
+        )
+    return eng
+
+
+def make_cluster(
+    level=ConsistencyLevel.SC_COARSE,
+    num_replicas=3,
+    seed=7,
+    update_types=20,
+    rows=100,
+    **kwargs,
+):
+    """A small micro-benchmark cluster for interactive tests."""
+    workload = MicroBenchmark(update_types=update_types, rows_per_table=rows)
+    return ReplicatedDatabase(
+        workload,
+        ClusterConfig(num_replicas=num_replicas, level=level, seed=seed, **kwargs),
+    )
+
+
+def run_loaded(level, clients=12, until_ms=2500.0, num_replicas=4, seed=3,
+               update_types=20, rows=200):
+    """Run a short loaded cluster; returns (cluster, collector)."""
+    cluster = make_cluster(
+        level=level, num_replicas=num_replicas, seed=seed,
+        update_types=update_types, rows=rows,
+    )
+    collector = MetricsCollector()
+    cluster.add_clients(clients, collector)
+    cluster.run(until_ms)
+    return cluster, collector
+
+
+@pytest.fixture
+def small_cluster():
+    """An idle 3-replica SC-COARSE cluster over the micro-benchmark."""
+    return make_cluster()

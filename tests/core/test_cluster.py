@@ -1,0 +1,162 @@
+"""Tests for cluster construction and the public API."""
+
+import pytest
+
+from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase
+from repro.workloads import MicroBenchmark
+
+from ..conftest import make_cluster
+
+
+class TestConstruction:
+    def test_builds_requested_replica_count(self):
+        cluster = make_cluster(num_replicas=5)
+        assert len(cluster.replicas) == 5
+        assert cluster.replica_names == [f"replica-{i}" for i in range(5)]
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster(num_replicas=0)
+
+    def test_config_and_overrides_are_exclusive(self):
+        workload = MicroBenchmark(rows_per_table=10)
+        with pytest.raises(TypeError):
+            ReplicatedDatabase(workload, ClusterConfig(), num_replicas=2)
+
+    def test_keyword_overrides(self):
+        workload = MicroBenchmark(rows_per_table=10)
+        cluster = ReplicatedDatabase(
+            workload, num_replicas=2, level=ConsistencyLevel.EAGER
+        )
+        assert cluster.level is ConsistencyLevel.EAGER
+        assert len(cluster.replicas) == 2
+
+    def test_replicas_start_identical_at_version_zero(self):
+        cluster = make_cluster(num_replicas=3, rows=50)
+        databases = [p.engine.database for p in cluster.replicas.values()]
+        assert all(db.version == 0 for db in databases)
+        reference = databases[0]
+        for other in databases[1:]:
+            for table in reference.table_names:
+                for row in reference.table(table).scan(0):
+                    assert other.table(table).read(row["id"], 0) == row
+
+    def test_history_recording_optional(self):
+        assert make_cluster(record_history=False).history is None
+        assert make_cluster(record_history=True).history is not None
+
+    def test_replica_lookup_by_index_and_name(self):
+        cluster = make_cluster()
+        assert cluster.replica(0) is cluster.replica("replica-0")
+
+    def test_first_replica_is_reference_speed(self):
+        cluster = make_cluster(num_replicas=4)
+        assert cluster.replica(0).perf.speed_factor == 1.0
+
+
+class TestInteractiveUse:
+    def test_session_update_and_read(self):
+        cluster = make_cluster()
+        session = cluster.open_session("alice")
+        response = session.execute("micro-update-0", {"key": 3})
+        assert response.committed
+        assert response.commit_version == 1
+        row = session.result("micro-read-20", {"key": 3})
+        assert row["id"] == 3
+
+    def test_auto_session_ids_unique(self):
+        cluster = make_cluster()
+        a = cluster.open_session()
+        b = cluster.open_session()
+        assert a.session_id != b.session_id
+
+    def test_unknown_template_rejected(self):
+        cluster = make_cluster()
+        session = cluster.open_session()
+        with pytest.raises(KeyError):
+            session.execute("no-such-template")
+
+    def test_commit_version_advances_monotonically(self):
+        cluster = make_cluster()
+        session = cluster.open_session()
+        versions = [
+            session.execute("micro-update-0", {"key": k}).commit_version
+            for k in range(1, 6)
+        ]
+        assert versions == [1, 2, 3, 4, 5]
+
+    def test_quiesce_propagates_to_all_replicas(self):
+        cluster = make_cluster(num_replicas=4)
+        session = cluster.open_session()
+        session.execute("micro-update-0", {"key": 1})
+        cluster.quiesce()
+        assert set(cluster.replica_versions().values()) == {1}
+
+    def test_try_execute_returns_response_on_abort(self):
+        cluster = make_cluster()
+        session = cluster.open_session()
+        # Force an abort via a missing row (update on key out of range).
+        response = session.try_execute("micro-update-0", {"key": 10_000_000})
+        assert not response.committed
+        assert response.abort_reason
+
+    def test_determinism_same_seed_same_outcome(self):
+        def run(seed):
+            cluster = make_cluster(seed=seed)
+            session = cluster.open_session("s")
+            r = session.execute("micro-update-0", {"key": 1})
+            return (r.commit_version, cluster.env.now)
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)  # timing differs with the seed
+
+
+class TestStats:
+    def test_stats_snapshot_shape(self):
+        cluster = make_cluster(num_replicas=2)
+        collector = cluster.add_clients(4)
+        cluster.run(500.0)
+        stats = cluster.stats()
+        assert stats["commit_version"] > 0
+        assert stats["level"] == "SC-COARSE"
+        assert set(stats["replicas"]) == {"replica-0", "replica-1"}
+        for replica in stats["replicas"].values():
+            assert replica["v_local"] <= stats["commit_version"]
+            assert replica["lag"] >= 0
+            assert replica["cpu_busy_ms"] > 0
+            assert not replica["crashed"]
+        assert stats["replication_horizon"] <= stats["commit_version"]
+
+    def test_stats_reflect_crash(self):
+        from repro.faults import FaultInjector
+
+        cluster = make_cluster(num_replicas=3)
+        cluster.add_clients(4)
+        cluster.run(300.0)
+        FaultInjector(cluster).crash_replica("replica-1")
+        assert cluster.stats()["replicas"]["replica-1"]["crashed"]
+
+
+class TestLoadedUse:
+    def test_add_clients_and_run(self):
+        cluster = make_cluster(num_replicas=2)
+        collector = cluster.add_clients(4)
+        cluster.run(500.0)
+        summary = collector.summary(duration_ms=500.0)
+        assert summary.committed > 0
+        assert cluster.commit_version > 0
+
+    def test_populate_must_not_commit(self):
+        class BadWorkload(MicroBenchmark):
+            def populate(self, database, rng):
+                super().populate(database, rng)
+                from repro.storage import OpKind, WriteOp, WriteSet
+
+                database.apply_writeset(
+                    WriteSet([WriteOp("t0", 1, OpKind.UPDATE,
+                                      {"id": 1, "payload": 1, "filler": "x"})]),
+                    1,
+                )
+
+        with pytest.raises(RuntimeError):
+            ReplicatedDatabase(BadWorkload(rows_per_table=5), num_replicas=1)

@@ -1,0 +1,37 @@
+"""Tests for the ConsistencyLevel enum's classification properties."""
+
+from repro.core import ConsistencyLevel
+
+
+class TestClassification:
+    def test_strong_levels(self):
+        assert ConsistencyLevel.EAGER.is_strong
+        assert ConsistencyLevel.SC_COARSE.is_strong
+        assert ConsistencyLevel.SC_FINE.is_strong
+        assert not ConsistencyLevel.SESSION.is_strong
+        assert not ConsistencyLevel.BASELINE.is_strong
+
+    def test_lazy_levels(self):
+        assert not ConsistencyLevel.EAGER.is_lazy
+        for level in (
+            ConsistencyLevel.SC_COARSE,
+            ConsistencyLevel.SC_FINE,
+            ConsistencyLevel.SESSION,
+            ConsistencyLevel.BASELINE,
+        ):
+            assert level.is_lazy
+
+    def test_start_delay_levels(self):
+        assert ConsistencyLevel.SC_COARSE.uses_start_delay
+        assert ConsistencyLevel.SC_FINE.uses_start_delay
+        assert ConsistencyLevel.SESSION.uses_start_delay
+        assert not ConsistencyLevel.EAGER.uses_start_delay
+        assert not ConsistencyLevel.BASELINE.uses_start_delay
+
+    def test_labels_are_unique(self):
+        labels = {level.label for level in ConsistencyLevel}
+        assert len(labels) == len(list(ConsistencyLevel))
+
+    def test_round_trip_by_value(self):
+        for level in ConsistencyLevel:
+            assert ConsistencyLevel(level.value) is level

@@ -1,0 +1,209 @@
+"""Tests for abstract histories and their isolation/consistency checkers."""
+
+import pytest
+
+from repro.histories import (
+    AbstractHistory,
+    OpKind,
+    abort,
+    begin,
+    commit,
+    is_abstract_strongly_consistent,
+    is_conflict_serializable,
+    is_snapshot_isolated,
+    read,
+    write,
+)
+
+
+class TestHistoryValidity:
+    def test_double_begin_rejected(self):
+        with pytest.raises(ValueError):
+            AbstractHistory([begin("T1"), begin("T1")])
+
+    def test_operation_before_begin_rejected(self):
+        with pytest.raises(ValueError):
+            AbstractHistory([read("T1", "X", 0)])
+
+    def test_commit_without_begin_rejected(self):
+        with pytest.raises(ValueError):
+            AbstractHistory([commit("T1")])
+
+    def test_operation_after_commit_rejected(self):
+        with pytest.raises(ValueError):
+            AbstractHistory([begin("T1"), commit("T1"), read("T1", "X", 0)])
+
+    def test_transactions_in_appearance_order(self):
+        h = AbstractHistory([begin("T2"), begin("T1"), commit("T2"), commit("T1")])
+        assert h.transactions == ["T2", "T1"]
+
+    def test_committed_transactions_in_commit_order(self):
+        h = AbstractHistory([begin("T2"), begin("T1"), commit("T1"), commit("T2")])
+        assert h.committed_transactions() == ["T1", "T2"]
+
+    def test_aborted_not_committed(self):
+        h = AbstractHistory([begin("T1"), abort("T1")])
+        assert not h.is_committed("T1")
+        assert h.committed_transactions() == []
+
+    def test_str_rendering(self):
+        h = AbstractHistory([begin("T1"), write("T1", "X", 1), commit("T1")])
+        assert str(h) == "{B_T1, W_T1(X=1), C_T1}"
+
+
+class TestCommittedValueAsOf:
+    def test_initial_value_defaults_to_zero(self):
+        h = AbstractHistory([begin("T1"), commit("T1")])
+        assert h.committed_value_as_of("X", 0) == 0
+
+    def test_custom_initial_values(self):
+        h = AbstractHistory([begin("T1"), commit("T1")], initial={"X": 99})
+        assert h.committed_value_as_of("X", 0) == 99
+
+    def test_uncommitted_writes_invisible(self):
+        h = AbstractHistory([begin("T1"), write("T1", "X", 5), commit("T1")])
+        # Before the commit op (index 2), T1's write is not committed.
+        assert h.committed_value_as_of("X", 2) == 0
+        assert h.committed_value_as_of("X", 3) == 5
+
+    def test_last_committer_wins(self):
+        h = AbstractHistory(
+            [
+                begin("T1"), write("T1", "X", 1),
+                begin("T2"), write("T2", "X", 2),
+                commit("T2"), commit("T1"),
+            ]
+        )
+        assert h.committed_value_as_of("X", len(h.ops)) == 1  # T1 commits last
+
+
+class TestSerializability:
+    def test_serial_history_is_serializable(self):
+        h = AbstractHistory(
+            [
+                begin("T1"), write("T1", "X", 1), commit("T1"),
+                begin("T2"), read("T2", "X", 1), commit("T2"),
+            ]
+        )
+        assert is_conflict_serializable(h)
+
+    def test_rw_cycle_not_serializable(self):
+        """Classic write-skew precedence cycle (two rw edges)."""
+        h = AbstractHistory(
+            [
+                begin("T1"), read("T1", "X", 0), read("T1", "Y", 0),
+                begin("T2"), read("T2", "X", 0), read("T2", "Y", 0),
+                write("T1", "X", 1), write("T2", "Y", 1),
+                commit("T1"), commit("T2"),
+            ]
+        )
+        assert not is_conflict_serializable(h)
+
+    def test_aborted_transactions_ignored(self):
+        h = AbstractHistory(
+            [
+                begin("T1"), read("T1", "X", 0),
+                begin("T2"), write("T2", "X", 1),
+                abort("T2"),
+                write("T1", "X", 5), commit("T1"),
+            ]
+        )
+        assert is_conflict_serializable(h)
+
+    def test_ww_conflict_order(self):
+        h = AbstractHistory(
+            [
+                begin("T1"), begin("T2"),
+                write("T1", "X", 1), write("T2", "X", 2),
+                commit("T1"), commit("T2"),
+            ]
+        )
+        # Single edge T1 -> T2: serializable.
+        assert is_conflict_serializable(h)
+
+
+class TestStrongConsistency:
+    def test_reading_latest_committed_is_strong(self):
+        h = AbstractHistory(
+            [
+                begin("T1"), write("T1", "X", 1), commit("T1"),
+                begin("T2"), read("T2", "X", 1), commit("T2"),
+            ]
+        )
+        assert is_abstract_strongly_consistent(h)
+
+    def test_reading_stale_value_violates(self):
+        h = AbstractHistory(
+            [
+                begin("T1"), write("T1", "X", 1), commit("T1"),
+                begin("T2"), read("T2", "X", 0), commit("T2"),
+            ]
+        )
+        assert not is_abstract_strongly_consistent(h)
+
+    def test_concurrent_transaction_may_read_old_value(self):
+        """If T2 begins before T1 commits, reading the old value is fine."""
+        h = AbstractHistory(
+            [
+                begin("T1"), write("T1", "X", 1),
+                begin("T2"), read("T2", "X", 0),
+                commit("T1"), commit("T2"),
+            ]
+        )
+        assert is_abstract_strongly_consistent(h)
+
+    def test_own_writes_respected(self):
+        h = AbstractHistory(
+            [begin("T1"), write("T1", "X", 5), read("T1", "X", 5), commit("T1")]
+        )
+        assert is_abstract_strongly_consistent(h)
+
+    def test_violating_own_write_detected(self):
+        h = AbstractHistory(
+            [begin("T1"), write("T1", "X", 5), read("T1", "X", 0), commit("T1")]
+        )
+        assert not is_abstract_strongly_consistent(h)
+
+
+class TestSnapshotIsolation:
+    def test_si_history_accepted(self):
+        h = AbstractHistory(
+            [
+                begin("T1"), write("T1", "X", 1), commit("T1"),
+                begin("T2"), read("T2", "X", 1), commit("T2"),
+            ]
+        )
+        assert is_snapshot_isolated(h)
+
+    def test_stale_read_rejected_under_si_but_allowed_under_gsi(self):
+        h = AbstractHistory(
+            [
+                begin("T1"), write("T1", "X", 1), commit("T1"),
+                begin("T2"), read("T2", "X", 0), commit("T2"),
+            ]
+        )
+        assert not is_snapshot_isolated(h)
+        assert is_snapshot_isolated(h, generalized=True)
+
+    def test_first_committer_wins_enforced(self):
+        """Two concurrent committed writers of the same item: not SI."""
+        h = AbstractHistory(
+            [
+                begin("T1"), begin("T2"),
+                write("T1", "X", 1), write("T2", "X", 2),
+                commit("T1"), commit("T2"),
+            ]
+        )
+        assert not is_snapshot_isolated(h)
+        assert not is_snapshot_isolated(h, generalized=True)
+
+    def test_non_snapshot_reads_rejected(self):
+        """Reads mixing two committed states never come from one snapshot."""
+        h = AbstractHistory(
+            [
+                begin("T1"), write("T1", "X", 1), write("T1", "Y", 1), commit("T1"),
+                begin("T2"), read("T2", "X", 1), read("T2", "Y", 0), commit("T2"),
+            ]
+        )
+        assert not is_snapshot_isolated(h)
+        assert not is_snapshot_isolated(h, generalized=True)

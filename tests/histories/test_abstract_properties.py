@@ -1,0 +1,129 @@
+"""Property-based tests on abstract histories.
+
+Random histories are generated two ways — arbitrary interleavings, and
+serial executions with correct read values — and the checkers must satisfy
+the classic containments: serial ⇒ serializable ⇒ (here) consistent reads;
+strong consistency of a serial history; SI ⊆ GSI.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.histories import (
+    AbstractHistory,
+    begin,
+    commit,
+    is_abstract_strongly_consistent,
+    is_conflict_serializable,
+    is_snapshot_isolated,
+    read,
+    write,
+)
+
+ITEMS = ("X", "Y", "Z")
+
+
+@st.composite
+def serial_histories(draw):
+    """A serial, single-copy execution: transactions run one at a time and
+    every read returns the latest committed value."""
+    state = {item: 0 for item in ITEMS}
+    ops = []
+    n_txns = draw(st.integers(min_value=1, max_value=6))
+    for index in range(n_txns):
+        txn = f"T{index}"
+        ops.append(begin(txn))
+        local = dict(state)
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            item = draw(st.sampled_from(ITEMS))
+            if draw(st.booleans()):
+                ops.append(read(txn, item, local[item]))
+            else:
+                value = draw(st.integers(min_value=1, max_value=9))
+                ops.append(write(txn, item, value))
+                local[item] = value
+        ops.append(commit(txn))
+        state = local
+    return AbstractHistory(ops)
+
+
+@st.composite
+def interleaved_histories(draw):
+    """Arbitrary (valid) interleavings with arbitrary read values."""
+    n_txns = draw(st.integers(min_value=1, max_value=4))
+    per_txn = {
+        f"T{i}": draw(st.integers(min_value=1, max_value=3)) for i in range(n_txns)
+    }
+    pending = {txn: ["B"] + ["O"] * count + ["C"] for txn, count in per_txn.items()}
+    ops = []
+    alive = sorted(pending)
+    while alive:
+        txn = draw(st.sampled_from(alive))
+        step = pending[txn].pop(0)
+        if step == "B":
+            ops.append(begin(txn))
+        elif step == "C":
+            ops.append(commit(txn))
+        else:
+            item = draw(st.sampled_from(ITEMS))
+            if draw(st.booleans()):
+                ops.append(read(txn, item, draw(st.integers(0, 5))))
+            else:
+                ops.append(write(txn, item, draw(st.integers(1, 5))))
+        if not pending[txn]:
+            alive.remove(txn)
+    return AbstractHistory(ops)
+
+
+class TestSerialHistories:
+    @given(serial_histories())
+    @settings(max_examples=150, deadline=None)
+    def test_serial_is_conflict_serializable(self, history):
+        assert is_conflict_serializable(history)
+
+    @given(serial_histories())
+    @settings(max_examples=150, deadline=None)
+    def test_serial_is_strongly_consistent(self, history):
+        assert is_abstract_strongly_consistent(history)
+
+    @given(serial_histories())
+    @settings(max_examples=150, deadline=None)
+    def test_serial_is_snapshot_isolated(self, history):
+        assert is_snapshot_isolated(history)
+
+
+class TestContainments:
+    @given(interleaved_histories())
+    @settings(max_examples=200, deadline=None)
+    def test_si_implies_gsi(self, history):
+        if is_snapshot_isolated(history, generalized=False):
+            assert is_snapshot_isolated(history, generalized=True)
+
+    @given(interleaved_histories())
+    @settings(max_examples=200, deadline=None)
+    def test_strong_consistency_reads_are_gsi_consistent_at_begin(self, history):
+        """A strongly consistent history's reads all match the committed
+        state at begin, which is a legal GSI snapshot — so unless first-
+        committer-wins is violated, it is GSI."""
+        assume(is_abstract_strongly_consistent(history))
+        committed = history.committed_transactions()
+        # Check FCW separately: overlapping committed writers of one item.
+        from repro.histories.abstract import OpKind
+
+        fcw_ok = True
+        for i, a in enumerate(committed):
+            for b in committed[i + 1:]:
+                a_span = (history.index_of(OpKind.BEGIN, a),
+                          history.index_of(OpKind.COMMIT, a))
+                b_span = (history.index_of(OpKind.BEGIN, b),
+                          history.index_of(OpKind.COMMIT, b))
+                overlap = a_span[0] < b_span[1] and b_span[0] < a_span[1]
+                if overlap and history.write_items(a) & history.write_items(b):
+                    fcw_ok = False
+        if fcw_ok:
+            assert is_snapshot_isolated(history, generalized=True)
+
+    @given(interleaved_histories())
+    @settings(max_examples=100, deadline=None)
+    def test_checkers_are_deterministic(self, history):
+        assert is_conflict_serializable(history) == is_conflict_serializable(history)
+        assert is_snapshot_isolated(history) == is_snapshot_isolated(history)

@@ -1,0 +1,124 @@
+"""Property-based tests on the consistency checkers.
+
+Random run histories are generated directly (not through the simulator), so
+these properties pin down the checkers themselves: containment between the
+guarantee variants, agreement with the staleness report, and insensitivity
+to record order.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.histories import (
+    RunHistory,
+    TxnRecord,
+    is_session_consistent,
+    is_strongly_consistent,
+    staleness_report,
+    strong_consistency_violations,
+)
+
+_ids = itertools.count(1)
+
+TABLES = ("a", "b", "c")
+
+
+@st.composite
+def txn_records(draw):
+    submit = draw(st.floats(min_value=0.0, max_value=100.0))
+    duration = draw(st.floats(min_value=0.1, max_value=20.0))
+    committed = draw(st.booleans())
+    is_update = committed and draw(st.booleans())
+    accessed = frozenset(draw(st.sets(st.sampled_from(TABLES), min_size=1, max_size=3)))
+    updated = (
+        frozenset(draw(st.sets(st.sampled_from(sorted(accessed)), min_size=1)))
+        if is_update
+        else frozenset()
+    )
+    return TxnRecord(
+        request_id=next(_ids),
+        template="t",
+        session_id=draw(st.sampled_from(["s1", "s2", "s3"])),
+        replica="replica-0",
+        submit_time=submit,
+        ack_time=submit + duration,
+        committed=committed,
+        snapshot_version=draw(st.integers(min_value=0, max_value=30)),
+        commit_version=(
+            draw(st.integers(min_value=1, max_value=30)) if is_update else None
+        ),
+        accessed_tables=accessed,
+        updated_tables=updated,
+    )
+
+
+@st.composite
+def histories(draw):
+    records = draw(st.lists(txn_records(), min_size=0, max_size=25))
+    history = RunHistory()
+    for record in records:
+        history.add(record)
+    return history
+
+
+class TestCheckerProperties:
+    @given(histories())
+    @settings(max_examples=200, deadline=None)
+    def test_strict_strong_implies_observational_strong(self, history):
+        if is_strongly_consistent(history, observational=False):
+            assert is_strongly_consistent(history, observational=True)
+
+    @given(histories())
+    @settings(max_examples=200, deadline=None)
+    def test_strict_strong_implies_session(self, history):
+        """Definition 1 (strict) subsumes Definition 2: seeing *everyone's*
+        acknowledged updates includes seeing your own."""
+        if is_strongly_consistent(history, observational=False):
+            assert is_session_consistent(history)
+
+    @given(histories())
+    @settings(max_examples=200, deadline=None)
+    def test_observational_strong_implies_observational_session(self, history):
+        if is_strongly_consistent(history, observational=True):
+            assert is_session_consistent(history, observational=True)
+
+    @given(histories())
+    @settings(max_examples=200, deadline=None)
+    def test_zero_staleness_equals_strict_strong(self, history):
+        report = staleness_report(history)
+        assert (report["max"] == 0.0) == is_strongly_consistent(
+            history, observational=False
+        )
+
+    @given(histories())
+    @settings(max_examples=100, deadline=None)
+    def test_record_order_is_irrelevant(self, history):
+        shuffled = RunHistory()
+        for record in reversed(history.records):
+            shuffled.add(record)
+        for observational in (True, False):
+            assert is_strongly_consistent(history, observational) == (
+                is_strongly_consistent(shuffled, observational)
+            )
+        assert is_session_consistent(history) == is_session_consistent(shuffled)
+
+    @given(histories())
+    @settings(max_examples=100, deadline=None)
+    def test_violations_reference_real_records(self, history):
+        ids = {record.request_id for record in history}
+        for violation in strong_consistency_violations(history):
+            assert violation.earlier.request_id in ids
+            assert violation.later.request_id in ids
+            assert violation.earlier.ack_time < violation.later.submit_time
+            assert (
+                violation.later.snapshot_version
+                < violation.earlier.commit_version
+            )
+
+    @given(histories())
+    @settings(max_examples=100, deadline=None)
+    def test_aborted_records_never_appear_as_earlier(self, history):
+        for violation in strong_consistency_violations(history):
+            assert violation.earlier.committed
+            assert violation.later.committed

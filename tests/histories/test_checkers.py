@@ -1,0 +1,201 @@
+"""Tests for run-history checkers on hand-crafted records."""
+
+import pytest
+
+from repro.histories import (
+    RunHistory,
+    TxnRecord,
+    is_session_consistent,
+    is_strongly_consistent,
+    session_consistency_violations,
+    session_monotonicity_violations,
+    staleness_report,
+    strong_consistency_violations,
+)
+
+_ids = iter(range(1, 10_000))
+
+
+def record(
+    submit,
+    ack,
+    snapshot,
+    commit=None,
+    session="s1",
+    accessed=("a",),
+    updated=(),
+    committed=True,
+):
+    return TxnRecord(
+        request_id=next(_ids),
+        template="t",
+        session_id=session,
+        replica="replica-0",
+        submit_time=submit,
+        ack_time=ack,
+        committed=committed,
+        snapshot_version=snapshot,
+        commit_version=commit,
+        accessed_tables=frozenset(accessed),
+        updated_tables=frozenset(updated),
+    )
+
+
+def history(*records):
+    h = RunHistory()
+    for r in records:
+        h.add(r)
+    return h
+
+
+class TestStrongConsistency:
+    def test_empty_history_is_consistent(self):
+        assert is_strongly_consistent(history())
+
+    def test_fresh_snapshot_after_ack_ok(self):
+        h = history(
+            record(0, 10, 0, commit=1, accessed=("a",), updated=("a",)),
+            record(20, 30, 1, accessed=("a",)),
+        )
+        assert is_strongly_consistent(h)
+
+    def test_stale_snapshot_after_ack_violates(self):
+        h = history(
+            record(0, 10, 0, commit=1, accessed=("a",), updated=("a",)),
+            record(20, 30, 0, accessed=("a",)),
+        )
+        violations = strong_consistency_violations(h)
+        assert len(violations) == 1
+        assert violations[0].kind == "strong"
+        assert "snapshot v0" in str(violations[0])
+
+    def test_concurrent_submit_not_constrained(self):
+        """T_j submitted before T_i was acknowledged: no constraint."""
+        h = history(
+            record(0, 10, 0, commit=1, updated=("a",)),
+            record(5, 30, 0, accessed=("a",)),
+        )
+        assert is_strongly_consistent(h)
+
+    def test_observational_ignores_disjoint_tables(self):
+        h = history(
+            record(0, 10, 0, commit=1, accessed=("a",), updated=("a",)),
+            record(20, 30, 0, accessed=("b",)),
+        )
+        assert is_strongly_consistent(h, observational=True)
+        assert not is_strongly_consistent(h, observational=False)
+
+    def test_strict_kind_label(self):
+        h = history(
+            record(0, 10, 0, commit=1, updated=("a",)),
+            record(20, 30, 0, accessed=("b",)),
+        )
+        violations = strong_consistency_violations(h, observational=False)
+        assert violations[0].kind == "strong-strict"
+
+    def test_aborted_transactions_do_not_constrain(self):
+        h = history(
+            record(0, 10, 0, commit=None, updated=("a",), committed=False),
+            record(20, 30, 0, accessed=("a",)),
+        )
+        assert is_strongly_consistent(h)
+
+    def test_highest_version_constraint_wins(self):
+        h = history(
+            record(0, 10, 0, commit=1, updated=("a",)),
+            record(0, 12, 1, commit=2, updated=("a",)),
+            record(20, 30, 1, accessed=("a",)),
+        )
+        violations = strong_consistency_violations(h)
+        assert len(violations) == 1
+        assert violations[0].earlier.commit_version == 2
+
+    def test_read_only_transactions_constrained_too(self):
+        """Strong consistency covers reads: a read-only txn with a stale
+        snapshot violates just as an update would."""
+        h = history(
+            record(0, 10, 0, commit=1, updated=("a",)),
+            record(20, 30, 0, commit=None, accessed=("a",)),
+        )
+        assert not is_strongly_consistent(h)
+
+
+class TestSessionConsistency:
+    def test_own_update_must_be_seen(self):
+        h = history(
+            record(0, 10, 0, commit=1, session="s", updated=("a",)),
+            record(20, 30, 0, session="s", accessed=("a",)),
+        )
+        violations = session_consistency_violations(h)
+        assert len(violations) == 1
+        assert violations[0].kind == "session"
+
+    def test_other_sessions_not_constrained(self):
+        h = history(
+            record(0, 10, 0, commit=1, session="s1", updated=("a",)),
+            record(20, 30, 0, session="s2", accessed=("a",)),
+        )
+        assert is_session_consistent(h)
+
+    def test_observational_session_skips_disjoint_tables(self):
+        h = history(
+            record(0, 10, 0, commit=1, session="s", updated=("a",)),
+            record(20, 30, 0, session="s", accessed=("b",)),
+        )
+        assert is_session_consistent(h, observational=True)
+        assert not is_session_consistent(h, observational=False)
+
+    def test_seen_update_satisfies(self):
+        h = history(
+            record(0, 10, 0, commit=1, session="s", updated=("a",)),
+            record(20, 30, 1, session="s", accessed=("a",)),
+        )
+        assert is_session_consistent(h)
+
+
+class TestMonotonicity:
+    def test_decreasing_snapshots_flagged(self):
+        h = history(
+            record(0, 10, 5, session="s"),
+            record(20, 30, 3, session="s"),
+        )
+        violations = session_monotonicity_violations(h)
+        assert len(violations) == 1
+        assert violations[0].kind == "session-monotonicity"
+
+    def test_non_decreasing_ok(self):
+        h = history(
+            record(0, 10, 3, session="s"),
+            record(20, 30, 3, session="s"),
+            record(40, 50, 7, session="s"),
+        )
+        assert session_monotonicity_violations(h) == []
+
+    def test_across_sessions_not_compared(self):
+        h = history(
+            record(0, 10, 9, session="s1"),
+            record(20, 30, 1, session="s2"),
+        )
+        assert session_monotonicity_violations(h) == []
+
+
+class TestStalenessReport:
+    def test_empty_history(self):
+        assert staleness_report(history()) == {"count": 0, "mean": 0.0, "max": 0.0}
+
+    def test_zero_staleness_when_fresh(self):
+        h = history(
+            record(0, 10, 0, commit=1, updated=("a",)),
+            record(20, 30, 1),
+        )
+        report = staleness_report(h)
+        assert report["max"] == 0.0
+
+    def test_staleness_counts_versions_behind(self):
+        h = history(
+            record(0, 10, 0, commit=1, updated=("a",)),
+            record(0, 12, 1, commit=2, updated=("a",)),
+            record(20, 30, 0),
+        )
+        report = staleness_report(h)
+        assert report["max"] == 2.0

@@ -1,0 +1,68 @@
+"""Every claim the paper makes about H1, H2 and H3 (Section II)."""
+
+from repro.histories import (
+    is_abstract_strongly_consistent,
+    is_conflict_serializable,
+    is_snapshot_isolated,
+)
+from repro.histories.examples import h1, h2, h3
+
+
+class TestH1:
+    """H1: T2 reads the old X after T1 committed — serializable (as {T2, T1})
+    but not strongly consistent."""
+
+    def test_serializable(self):
+        assert is_conflict_serializable(h1())
+
+    def test_not_strongly_consistent(self):
+        assert not is_abstract_strongly_consistent(h1())
+
+    def test_not_conventional_si_but_gsi(self):
+        """The replica served a pre-T1 snapshot: invalid under SI's
+        begin-time snapshot, valid under GSI's older local snapshot."""
+        assert not is_snapshot_isolated(h1())
+        assert is_snapshot_isolated(h1(), generalized=True)
+
+
+class TestH2:
+    """H2: the strongly consistent execution, equivalent to {T1, T2}."""
+
+    def test_serializable(self):
+        assert is_conflict_serializable(h2())
+
+    def test_strongly_consistent(self):
+        assert is_abstract_strongly_consistent(h2())
+
+    def test_snapshot_isolated(self):
+        assert is_snapshot_isolated(h2())
+
+
+class TestH3:
+    """H3: strongly consistent and snapshot isolated, but not serializable
+    (write skew)."""
+
+    def test_not_serializable(self):
+        assert not is_conflict_serializable(h3())
+
+    def test_strongly_consistent(self):
+        assert is_abstract_strongly_consistent(h3())
+
+    def test_snapshot_isolated(self):
+        assert is_snapshot_isolated(h3())
+
+
+class TestPaperSummary:
+    def test_the_full_claim_matrix(self):
+        """The paper's discussion in one table: strong consistency and
+        serializability are orthogonal correctness properties."""
+        matrix = {
+            "H1": (is_conflict_serializable(h1()), is_abstract_strongly_consistent(h1())),
+            "H2": (is_conflict_serializable(h2()), is_abstract_strongly_consistent(h2())),
+            "H3": (is_conflict_serializable(h3()), is_abstract_strongly_consistent(h3())),
+        }
+        assert matrix == {
+            "H1": (True, False),
+            "H2": (True, True),
+            "H3": (False, True),
+        }

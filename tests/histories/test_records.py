@@ -1,0 +1,71 @@
+"""Tests for run-history records and grouping."""
+
+from repro.histories import RunHistory, TxnRecord
+
+
+def record(request_id, session="s", submit=0.0, ack=1.0, committed=True,
+           commit=None, snapshot=0):
+    return TxnRecord(
+        request_id=request_id,
+        template="t",
+        session_id=session,
+        replica="replica-0",
+        submit_time=submit,
+        ack_time=ack,
+        committed=committed,
+        snapshot_version=snapshot,
+        commit_version=commit,
+        accessed_tables=frozenset({"a"}),
+        updated_tables=frozenset({"a"} if commit else set()),
+    )
+
+
+class TestTxnRecord:
+    def test_is_update(self):
+        assert record(1, commit=3).is_update
+        assert not record(2).is_update
+        assert not record(3, committed=False, commit=None).is_update
+
+
+class TestRunHistory:
+    def test_add_and_len(self):
+        h = RunHistory()
+        h.add(record(1))
+        h.add(record(2))
+        assert len(h) == 2
+        assert len(h.records) == 2
+
+    def test_committed_sorted_by_ack(self):
+        h = RunHistory()
+        h.add(record(1, ack=5.0))
+        h.add(record(2, ack=2.0))
+        h.add(record(3, ack=9.0, committed=False))
+        committed = h.committed()
+        assert [r.request_id for r in committed] == [2, 1]
+
+    def test_updates_sorted_by_commit_version(self):
+        h = RunHistory()
+        h.add(record(1, commit=5))
+        h.add(record(2, commit=2))
+        h.add(record(3))
+        assert [r.commit_version for r in h.updates()] == [2, 5]
+
+    def test_aborted(self):
+        h = RunHistory()
+        h.add(record(1))
+        h.add(record(2, committed=False))
+        assert [r.request_id for r in h.aborted()] == [2]
+
+    def test_sessions_grouped_and_sorted(self):
+        h = RunHistory()
+        h.add(record(1, session="a", submit=5.0))
+        h.add(record(2, session="b", submit=1.0))
+        h.add(record(3, session="a", submit=2.0))
+        groups = h.sessions()
+        assert set(groups) == {"a", "b"}
+        assert [r.request_id for r in groups["a"]] == [3, 1]
+
+    def test_iteration(self):
+        h = RunHistory()
+        h.add(record(1))
+        assert [r.request_id for r in h] == [1]

@@ -1,0 +1,61 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics import line_chart
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        out = line_chart([1, 2, 3], {"A": [0.0, 5.0, 10.0]}, title="Chart")
+        lines = out.splitlines()
+        assert lines[0] == "Chart"
+        assert any("o" in line for line in lines)
+        assert "legend: o=A" in out
+        assert "x: 1 .. 3" in out
+
+    def test_multiple_series_distinct_symbols(self):
+        out = line_chart([1, 2], {"A": [1.0, 2.0], "B": [2.0, 1.0]})
+        assert "o=A" in out and "x=B" in out
+
+    def test_peak_at_top_row(self):
+        out = line_chart([1, 2, 3], {"A": [0.0, 0.0, 100.0]}, height=10, width=30)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert "o" in rows[0]        # the maximum touches the top
+        assert "o" in rows[-1]       # zero values sit on the baseline
+
+    def test_dimensions_respected(self):
+        out = line_chart([1, 2], {"A": [1.0, 2.0]}, width=20, height=5)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert len(rows) == 5
+        assert all(len(row) <= 21 for row in rows)
+
+    def test_interpolation_dots_connect_sparse_points(self):
+        out = line_chart([1, 8], {"A": [0.0, 10.0]}, width=40, height=10)
+        assert "." in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"A": [1.0]})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"A": []})
+        with pytest.raises(ValueError):
+            line_chart([1], {})
+
+    def test_flat_zero_series_safe(self):
+        out = line_chart([1, 2], {"A": [0.0, 0.0]})
+        assert "0 .. 1" in out  # degenerate max handled
+
+    def test_series_result_renders_chart(self):
+        from repro.bench import SeriesResult
+
+        result = SeriesResult(
+            title="T", x_label="n", x_values=[1, 2],
+            series={"A": [1.0, 2.0]},
+        )
+        rendered = result.render()
+        assert "legend:" in rendered
+        assert "T" in rendered
+        assert "n  " in rendered or "n:" in rendered

@@ -1,0 +1,54 @@
+"""Tests for paper-style table rendering."""
+
+from repro.metrics import StageTimings, format_breakdown, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "tps"], [["a", 1.5], ["bbbb", 22.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "tps" in lines[0]
+        assert "1.5" in lines[2]
+        assert "22.2" in lines[3]
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [[3.14159]], floatfmt="{:.3f}")
+        assert "3.142" in out
+
+    def test_ints_rendered_verbatim(self):
+        out = format_table(["n"], [[42]])
+        assert "42" in out
+
+
+class TestFormatSeries:
+    def test_one_column_per_curve(self):
+        out = format_series(
+            "replicas",
+            [1, 2],
+            {"SESSION": [10.0, 20.0], "EAGER": [9.0, 12.0]},
+        )
+        lines = out.splitlines()
+        assert "SESSION" in lines[0] and "EAGER" in lines[0]
+        assert "10.0" in lines[2]
+        assert "12.0" in lines[3]
+
+
+class TestFormatBreakdown:
+    def test_stage_columns_and_total(self):
+        out = format_breakdown(
+            {"SC-FINE": StageTimings(version=1.0, queries=2.0)}
+        )
+        header = out.splitlines()[0]
+        for stage in ("version", "queries", "certify", "sync", "commit", "global", "total"):
+            assert stage in header
+        assert "SC-FINE" in out
+        assert "3.00" in out  # total

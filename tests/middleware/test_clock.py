@@ -1,0 +1,92 @@
+"""Tests for the waitable version clock."""
+
+from repro.middleware import VersionClock
+
+
+class TestVersionClock:
+    def test_initial_version(self, env):
+        assert VersionClock(env).version == 0
+        assert VersionClock(env, initial=5).version == 5
+
+    def test_advance_moves_forward_only(self, env):
+        clock = VersionClock(env)
+        clock.advance_to(3)
+        clock.advance_to(1)  # no-op
+        assert clock.version == 3
+
+    def test_wait_for_reached_version_fires_immediately(self, env):
+        clock = VersionClock(env, initial=5)
+        event = clock.wait_for(5)
+        assert event.triggered
+        assert event.value == 5
+
+    def test_wait_for_future_version_blocks(self, env):
+        clock = VersionClock(env)
+        event = clock.wait_for(2)
+        assert not event.triggered
+        clock.advance_to(1)
+        assert not event.triggered
+        clock.advance_to(2)
+        assert event.triggered
+
+    def test_advance_past_target_wakes_waiter(self, env):
+        clock = VersionClock(env)
+        event = clock.wait_for(2)
+        clock.advance_to(10)
+        assert event.triggered
+        assert event.value == 10
+
+    def test_multiple_waiters_wake_in_threshold_order(self, env):
+        clock = VersionClock(env)
+        order = []
+        for target in (3, 1, 2):
+            event = clock.wait_for(target)
+            event.callbacks.append(lambda e, t=target: order.append(t))
+        clock.advance_to(5)
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_partial_advance_wakes_only_reached(self, env):
+        clock = VersionClock(env)
+        low = clock.wait_for(1)
+        high = clock.wait_for(10)
+        clock.advance_to(5)
+        assert low.triggered
+        assert not high.triggered
+
+    def test_waiter_count(self, env):
+        clock = VersionClock(env)
+        clock.wait_for(1)
+        clock.wait_for(2)
+        assert clock.waiter_count == 2
+        clock.advance_to(1)
+        assert clock.waiter_count == 1
+
+    def test_process_integration(self, env):
+        clock = VersionClock(env)
+
+        def waiter(env):
+            version = yield clock.wait_for(3)
+            return (env.now, version)
+
+        def advancer(env):
+            yield env.timeout(2.0)
+            clock.advance_to(3)
+
+        p = env.process(waiter(env))
+        env.process(advancer(env))
+        env.run()
+        assert p.value == (2.0, 3)
+
+    def test_zero_wait_measures_zero_delay(self, env):
+        """An already-synchronized replica's version stage is exactly 0 ms."""
+        clock = VersionClock(env, initial=7)
+
+        def waiter(env):
+            start = env.now
+            yield clock.wait_for(3)
+            return env.now - start
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the certifier's durable decision log."""
+
+import pytest
+
+from repro.middleware import DecisionLog, LogEntry
+from repro.storage import Column, Database, OpKind, TableSchema, WriteOp, WriteSet
+
+
+def entry(version, key=1, value=10, origin="replica-0"):
+    ws = WriteSet([WriteOp("t", key, OpKind.INSERT, {"id": key, "v": value})])
+    return LogEntry(version, txn_id=version * 100, origin=origin, writeset=ws)
+
+
+class TestDecisionLog:
+    def test_empty_log(self):
+        log = DecisionLog()
+        assert len(log) == 0
+        assert log.last_version == 0
+        assert log.entries_after(0) == []
+
+    def test_append_contiguous(self):
+        log = DecisionLog()
+        log.append(entry(1))
+        log.append(entry(2))
+        assert log.last_version == 2
+        assert len(log) == 2
+
+    def test_gap_rejected(self):
+        log = DecisionLog()
+        log.append(entry(1))
+        with pytest.raises(ValueError):
+            log.append(entry(3))
+
+    def test_duplicate_rejected(self):
+        log = DecisionLog()
+        log.append(entry(1))
+        with pytest.raises(ValueError):
+            log.append(entry(1))
+
+    def test_entries_after(self):
+        log = DecisionLog()
+        for version in range(1, 6):
+            log.append(entry(version))
+        assert [e.commit_version for e in log.entries_after(3)] == [4, 5]
+        assert log.entries_after(5) == []
+
+    def test_entry_lookup(self):
+        log = DecisionLog()
+        log.append(entry(1))
+        assert log.entry(1).commit_version == 1
+        with pytest.raises(KeyError):
+            log.entry(2)
+        with pytest.raises(KeyError):
+            log.entry(0)
+
+    def test_writesets_between(self):
+        log = DecisionLog()
+        for version in range(1, 6):
+            log.append(entry(version, key=version))
+        window = list(log.writesets_between(2, 4))
+        assert len(window) == 2
+        assert window[0].keys_for("t") == frozenset({3})
+
+    def test_writesets_between_clamps_bounds(self):
+        log = DecisionLog()
+        log.append(entry(1))
+        assert len(list(log.writesets_between(-5, 100))) == 1
+
+    def test_replay_into_database(self):
+        log = DecisionLog()
+        for version in range(1, 4):
+            log.append(entry(version, key=version))
+        db = Database()
+        db.create_table(TableSchema("t", [Column("id", int), Column("v", int)], "id"))
+        applied = log.replay_into(db)
+        assert applied == 3
+        assert db.version == 3
+        assert db.table("t").read(2, 3)["v"] == 10
+
+    def test_replay_skips_already_applied(self):
+        log = DecisionLog()
+        for version in range(1, 4):
+            log.append(entry(version, key=version))
+        db = Database()
+        db.create_table(TableSchema("t", [Column("id", int), Column("v", int)], "id"))
+        db.apply_writeset(log.entry(1).writeset, 1)
+        assert log.replay_into(db) == 2
+
+
+class TestFileSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "decisions.log")
+        log = DecisionLog(path)
+        log.append(entry(1, key=7, value=42))
+        deleted = WriteSet([WriteOp("t", 7, OpKind.DELETE)])
+        log.append(LogEntry(2, txn_id=9, origin="replica-1", writeset=deleted))
+        log.close()
+
+        loaded = DecisionLog.load(path)
+        assert loaded.last_version == 2
+        first = loaded.entry(1)
+        assert first.origin == "replica-0"
+        assert first.writeset.op_for("t", 7).values == {"id": 7, "v": 42}
+        second = loaded.entry(2)
+        assert second.writeset.op_for("t", 7).kind is OpKind.DELETE
+
+    def test_json_round_trip_preserves_kinds(self):
+        original = entry(1)
+        parsed = LogEntry.from_json(original.to_json())
+        assert parsed.commit_version == original.commit_version
+        assert parsed.txn_id == original.txn_id
+        ops_a = list(original.writeset)
+        ops_b = list(parsed.writeset)
+        assert [(o.table, o.key, o.kind) for o in ops_a] == [
+            (o.table, o.key, o.kind) for o in ops_b
+        ]

@@ -1,0 +1,256 @@
+"""Tests for the load balancer: routing, version tagging, session state."""
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.histories import RunHistory
+from repro.metrics import StageTimings
+from repro.middleware import ClientRequest, ClientResponse, LoadBalancer, RoutedRequest, TxnResponse
+
+from .conftest import fixed_latency_network, make_catalog
+
+
+@pytest.fixture
+def setup(env):
+    def build(level=ConsistencyLevel.SC_COARSE, **kwargs):
+        network = fixed_latency_network(env)
+        replicas = ["replica-0", "replica-1"]
+        mailboxes = {name: network.register(name) for name in replicas}
+        client = network.register("client-x")
+        balancer = LoadBalancer(
+            env=env,
+            network=network,
+            replica_names=replicas,
+            level=level,
+            templates=make_catalog(("t", "u")),
+            history=RunHistory(),
+            **kwargs,
+        )
+        return network, mailboxes, client, balancer
+
+    return build
+
+
+def request(env, template="read-t", request_id=1, session="s1"):
+    return ClientRequest(
+        request_id=request_id,
+        template=template,
+        params={"key": 1},
+        session_id=session,
+        reply_to="client-x",
+        submit_time=env.now,
+    )
+
+
+def response_for(routed, committed=True, commit_version=None, tables=frozenset(),
+                 replica_version=0, snapshot_version=0):
+    req = routed.request
+    return TxnResponse(
+        request_id=req.request_id,
+        session_id=req.session_id,
+        reply_to=req.reply_to,
+        replica="replica-0",
+        committed=committed,
+        commit_version=commit_version,
+        abort_reason=None if committed else "conflict",
+        replica_version=replica_version,
+        updated_tables=frozenset(tables),
+        stages=StageTimings(),
+        snapshot_version=snapshot_version,
+    )
+
+
+def drain(mailbox):
+    out = []
+    while len(mailbox):
+        out.append(mailbox.receive().value)
+    return out
+
+
+class TestRouting:
+    def test_dispatch_to_least_active(self, env, setup):
+        network, mailboxes, client, balancer = setup()
+        network.send("client-x", "lb", request(env, request_id=1))
+        network.send("client-x", "lb", request(env, request_id=2))
+        env.run()
+        # Least-active with ties broken by name: first goes to replica-0,
+        # which then has 1 active, so the second goes to replica-1.
+        assert len(drain(mailboxes["replica-0"])) == 1
+        assert len(drain(mailboxes["replica-1"])) == 1
+        assert balancer.active_transactions("replica-0") == 1
+        assert balancer.active_transactions("replica-1") == 1
+
+    def test_response_decrements_active_and_relays(self, env, setup):
+        network, mailboxes, client, balancer = setup()
+        network.send("client-x", "lb", request(env, request_id=1))
+        env.run()
+        routed = drain(mailboxes["replica-0"])[0]
+        network.send("replica-0", "lb", response_for(routed))
+        env.run()
+        assert balancer.active_transactions("replica-0") == 0
+        replies = drain(client)
+        assert len(replies) == 1
+        assert isinstance(replies[0], ClientResponse)
+        assert replies[0].committed
+
+    def test_late_duplicate_response_ignored(self, env, setup):
+        network, mailboxes, client, balancer = setup()
+        network.send("client-x", "lb", request(env, request_id=1))
+        env.run()
+        routed = drain(mailboxes["replica-0"])[0]
+        network.send("replica-0", "lb", response_for(routed))
+        network.send("replica-0", "lb", response_for(routed))
+        env.run()
+        assert len(drain(client)) == 1
+        assert balancer.relayed_count == 1
+
+
+class TestVersionTagging:
+    def test_sc_coarse_tags_v_system(self, env, setup):
+        network, mailboxes, client, balancer = setup(ConsistencyLevel.SC_COARSE)
+        network.send("client-x", "lb", request(env, template="write-t", request_id=1))
+        env.run()
+        routed = drain(mailboxes["replica-0"])[0]
+        assert routed.start_version == 0
+        network.send(
+            "replica-0", "lb",
+            response_for(routed, commit_version=1, tables={"t"}, replica_version=1),
+        )
+        env.run()
+        network.send("client-x", "lb", request(env, template="read-u", request_id=2))
+        env.run()
+        # SC-COARSE requires the full V_system even for an unrelated table.
+        routed2 = [m for mb in mailboxes.values() for m in drain(mb)][0]
+        assert routed2.start_version == 1
+
+    def test_sc_fine_tags_only_relevant_table_version(self, env, setup):
+        network, mailboxes, client, balancer = setup(ConsistencyLevel.SC_FINE)
+        network.send("client-x", "lb", request(env, template="write-t", request_id=1))
+        env.run()
+        routed = drain(mailboxes["replica-0"])[0]
+        network.send(
+            "replica-0", "lb",
+            response_for(routed, commit_version=1, tables={"t"}, replica_version=1),
+        )
+        env.run()
+        network.send("client-x", "lb", request(env, template="read-u", request_id=2))
+        network.send("client-x", "lb", request(env, template="read-t", request_id=3))
+        env.run()
+        routed_all = [m for mb in mailboxes.values() for m in drain(mb)]
+        by_id = {r.request.request_id: r for r in routed_all}
+        assert by_id[2].start_version == 0  # table u never updated
+        assert by_id[3].start_version == 1  # table t updated at v1
+
+    def test_session_tags_own_session_version_only(self, env, setup):
+        network, mailboxes, client, balancer = setup(ConsistencyLevel.SESSION)
+        network.send("client-x", "lb", request(env, template="write-t", request_id=1, session="alice"))
+        env.run()
+        routed = drain(mailboxes["replica-0"])[0]
+        network.send(
+            "replica-0", "lb",
+            response_for(routed, commit_version=3, tables={"t"}, replica_version=3),
+        )
+        env.run()
+        network.send("client-x", "lb", request(env, request_id=2, session="alice"))
+        network.send("client-x", "lb", request(env, request_id=3, session="bob"))
+        env.run()
+        routed_all = [m for mb in mailboxes.values() for m in drain(mb)]
+        by_id = {r.request.request_id: r for r in routed_all}
+        assert by_id[2].start_version == 3  # alice waits for her update
+        assert by_id[3].start_version == 0  # bob does not
+
+    def test_eager_and_baseline_never_tag(self, env, setup):
+        for level in (ConsistencyLevel.EAGER, ConsistencyLevel.BASELINE):
+            network, mailboxes, client, balancer = setup(level)
+            network.send("client-x", "lb", request(env, template="write-t", request_id=1))
+            env.run()
+            routed = drain(mailboxes["replica-0"])[0]
+            network.send(
+                "replica-0", "lb",
+                response_for(routed, commit_version=2, tables={"t"}, replica_version=2),
+            )
+            env.run()
+            network.send("client-x", "lb", request(env, request_id=9))
+            env.run()
+            routed2 = [m for mb in mailboxes.values() for m in drain(mb)][0]
+            assert routed2.start_version == 0
+
+    def test_relaxed_tags_bounded_staleness(self, env, setup):
+        network, mailboxes, client, balancer = setup(
+            ConsistencyLevel.RELAXED, freshness_bound=3
+        )
+        network.send("client-x", "lb", request(env, template="write-t", request_id=1))
+        env.run()
+        routed = drain(mailboxes["replica-0"])[0]
+        network.send(
+            "replica-0", "lb",
+            response_for(routed, commit_version=10, tables={"t"}, replica_version=10),
+        )
+        env.run()
+        network.send("client-x", "lb", request(env, request_id=2))
+        env.run()
+        routed2 = [m for mb in mailboxes.values() for m in drain(mb)][0]
+        assert routed2.start_version == 7  # V_system(10) - bound(3)
+
+    def test_aborted_response_does_not_advance_versions(self, env, setup):
+        network, mailboxes, client, balancer = setup()
+        network.send("client-x", "lb", request(env, template="write-t", request_id=1))
+        env.run()
+        routed = drain(mailboxes["replica-0"])[0]
+        network.send("replica-0", "lb", response_for(routed, committed=False))
+        env.run()
+        assert balancer.v_system == 0
+
+
+class TestHistoryRecording:
+    def test_history_records_submit_and_ack(self, env, setup):
+        network, mailboxes, client, balancer = setup()
+        network.send("client-x", "lb", request(env, template="write-t", request_id=1))
+        env.run()
+        routed = drain(mailboxes["replica-0"])[0]
+        network.send(
+            "replica-0", "lb",
+            response_for(routed, commit_version=1, tables={"t"}, replica_version=1,
+                         snapshot_version=0),
+        )
+        env.run()
+        records = balancer.history.records
+        assert len(records) == 1
+        record = records[0]
+        assert record.commit_version == 1
+        assert record.accessed_tables == frozenset({"t"})
+        assert record.ack_time > record.submit_time
+
+
+class TestFaultPaths:
+    def test_replica_down_fails_outstanding_and_stops_routing(self, env, setup):
+        network, mailboxes, client, balancer = setup()
+        network.send("client-x", "lb", request(env, request_id=1))
+        env.run()
+        drain(mailboxes["replica-0"])
+        balancer.replica_down("replica-0")
+        env.run()
+        replies = drain(client)
+        assert len(replies) == 1
+        assert not replies[0].committed
+        assert "failed" in replies[0].abort_reason
+        # New requests avoid the dead replica.
+        network.send("client-x", "lb", request(env, request_id=2))
+        env.run()
+        assert len(drain(mailboxes["replica-1"])) == 1
+        assert drain(mailboxes["replica-0"]) == []
+
+    def test_replica_up_resumes_routing(self, env, setup):
+        network, mailboxes, client, balancer = setup()
+        balancer.replica_down("replica-0")
+        balancer.replica_up("replica-0")
+        network.send("client-x", "lb", request(env, request_id=1))
+        env.run()
+        assert len(drain(mailboxes["replica-0"])) == 1
+
+    def test_all_replicas_down_is_an_error(self, env, setup):
+        network, mailboxes, client, balancer = setup()
+        balancer.replica_down("replica-0")
+        balancer.replica_down("replica-1")
+        with pytest.raises(RuntimeError):
+            balancer._pick_replica()

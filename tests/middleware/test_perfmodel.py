@@ -1,0 +1,108 @@
+"""Tests for the cluster performance model."""
+
+import pytest
+
+from repro.middleware import CertifierPerformance, PerformanceParams, ReplicaPerformance
+from repro.middleware.perfmodel import draw_speed_factors
+from repro.sim import RngRegistry
+
+
+@pytest.fixture
+def perf():
+    return ReplicaPerformance(
+        PerformanceParams(cv=0.3), RngRegistry(1).stream("p"), speed_factor=1.0
+    )
+
+
+class TestReplicaPerformance:
+    def test_all_samples_positive(self, perf):
+        for _ in range(200):
+            assert perf.read_statement() > 0
+            assert perf.write_statement() > 0
+            assert perf.commit(3) > 0
+            assert perf.refresh(3) > 0
+
+    def test_cost_override_changes_mean(self):
+        perf = ReplicaPerformance(
+            PerformanceParams(cv=1e-9), RngRegistry(1).stream("p")
+        )
+        cheap = perf.read_statement()
+        heavy = perf.read_statement(cost_ms=50.0)
+        assert heavy > cheap * 10
+
+    def test_commit_scales_with_writeset_size(self):
+        perf = ReplicaPerformance(
+            PerformanceParams(cv=1e-9), RngRegistry(1).stream("p")
+        )
+        assert perf.commit(10) > perf.commit(0)
+
+    def test_refresh_scales_with_writeset_size(self):
+        perf = ReplicaPerformance(
+            PerformanceParams(cv=1e-9), RngRegistry(1).stream("p")
+        )
+        assert perf.refresh(10) > perf.refresh(1)
+
+    def test_speed_factor_slows_everything(self):
+        fast = ReplicaPerformance(
+            PerformanceParams(cv=1e-9), RngRegistry(1).stream("a"), speed_factor=1.0
+        )
+        slow = ReplicaPerformance(
+            PerformanceParams(cv=1e-9), RngRegistry(1).stream("a"), speed_factor=2.0
+        )
+        assert slow.read_statement() == pytest.approx(fast.read_statement() * 2, rel=0.01)
+
+    def test_nonpositive_speed_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaPerformance(
+                PerformanceParams(), RngRegistry(1).stream("p"), speed_factor=0.0
+            )
+
+    def test_eager_flush_zero_when_disabled(self):
+        perf = ReplicaPerformance(
+            PerformanceParams(eager_flush_base_ms=0.0, eager_flush_per_op_ms=0.0),
+            RngRegistry(1).stream("p"),
+        )
+        assert perf.eager_commit_flush(5) == 0.0
+
+    def test_mean_calibration(self):
+        """Sampled means track the configured means within a few percent."""
+        perf = ReplicaPerformance(
+            PerformanceParams(read_stmt_ms=2.0, cv=0.3), RngRegistry(9).stream("m")
+        )
+        samples = [perf.read_statement() for _ in range(20_000)]
+        assert abs(sum(samples) / len(samples) - 2.0) < 0.1
+
+
+class TestCertifierPerformance:
+    def test_certify_includes_log_cost(self):
+        params = PerformanceParams(
+            certify_base_ms=0.1, certify_per_op_ms=0.0, certifier_log_ms=5.0, cv=1e-9
+        )
+        perf = CertifierPerformance(params, RngRegistry(1).stream("c"))
+        assert perf.certify(1) == pytest.approx(5.1, rel=0.01)
+
+    def test_certify_scales_with_ops(self):
+        params = PerformanceParams(cv=1e-9)
+        perf = CertifierPerformance(params, RngRegistry(1).stream("c"))
+        assert perf.certify(100) > perf.certify(1)
+
+
+class TestSpeedFactors:
+    def test_first_replica_is_reference(self):
+        factors = draw_speed_factors(
+            PerformanceParams(replica_speed_spread=0.5), RngRegistry(1).stream("s"), 4
+        )
+        assert factors[0] == 1.0
+        assert len(factors) == 4
+        assert all(1.0 <= f <= 1.5 for f in factors)
+
+    def test_zero_spread_homogeneous(self):
+        factors = draw_speed_factors(
+            PerformanceParams(replica_speed_spread=0.0), RngRegistry(1).stream("s"), 5
+        )
+        assert factors == [1.0] * 5
+
+    def test_with_overrides(self):
+        params = PerformanceParams().with_overrides(read_stmt_ms=9.0)
+        assert params.read_stmt_ms == 9.0
+        assert params.write_stmt_ms == PerformanceParams().write_stmt_ms

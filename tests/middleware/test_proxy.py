@@ -1,0 +1,223 @@
+"""Tests for the replica proxy: stages, refresh ordering, early
+certification, read-only fast path."""
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.middleware import ClientRequest, RefreshWriteset, RoutedRequest, TxnResponse
+from repro.storage import OpKind, WriteOp, WriteSet
+
+from .conftest import Harness
+
+
+def ws(key, value=1, table="t"):
+    return WriteSet([WriteOp(table, key, OpKind.UPDATE, {"id": key, "v": value})])
+
+
+def route(harness, template, params, start_version=0, request_id=None,
+          session="s1", replica="replica-0"):
+    request_id = request_id if request_id is not None else id(params) % 100000
+    request = ClientRequest(
+        request_id=request_id,
+        template=template,
+        params=params,
+        session_id=session,
+        reply_to="lb",
+        submit_time=harness.env.now,
+    )
+    harness.network.send("lb", replica, RoutedRequest(request, start_version))
+    return request_id
+
+
+def seed(harness, key=1, v=0):
+    """Load a row into every replica at version 0."""
+    for proxy in harness.proxies.values():
+        proxy.engine.database.load_row("t", {"id": key, "v": v})
+
+
+class TestReadOnlyPath:
+    def test_read_only_commits_locally_with_no_version(self, env, harness):
+        seed(harness, 1, 7)
+        route(harness, "read-t", {"key": 1}, request_id=1)
+        env.run()
+        responses = harness.responses()
+        assert len(responses) == 1
+        response = responses[0]
+        assert response.committed
+        assert response.commit_version is None
+        assert response.result == {"id": 1, "v": 7}
+        assert response.updated_tables == frozenset()
+        assert harness.certifier.certified_count == 0
+
+    def test_read_only_stages_have_no_certify_or_sync(self, env, harness):
+        seed(harness)
+        route(harness, "read-t", {"key": 1}, request_id=1)
+        env.run()
+        stages = harness.responses()[0].stages
+        assert stages.certify == 0.0
+        assert stages.sync == 0.0
+        assert stages.global_ == 0.0
+        assert stages.queries > 0.0
+        assert stages.commit > 0.0
+
+
+class TestUpdatePath:
+    def test_update_certifies_and_commits(self, env, harness):
+        seed(harness)
+        route(harness, "write-t", {"key": 1, "v": 5}, request_id=1)
+        env.run()
+        response = harness.responses()[0]
+        assert response.committed
+        assert response.commit_version == 1
+        assert response.updated_tables == frozenset({"t"})
+        assert harness.proxy(0).v_local == 1
+
+    def test_update_propagates_to_other_replica(self, env, harness):
+        seed(harness)
+        route(harness, "write-t", {"key": 1, "v": 5}, request_id=1)
+        env.run()
+        other = harness.proxy(1)
+        assert other.v_local == 1
+        assert other.engine.database.table("t").read(1, 1)["v"] == 5
+        assert other.refresh_applied_count == 1
+
+    def test_certification_conflict_aborts_with_reason(self, env, harness):
+        # Disable the local pre-check so the conflict reaches the certifier.
+        for proxy in harness.proxies.values():
+            proxy.precheck_committed = False
+        seed(harness)
+        route(harness, "write-t", {"key": 1, "v": 5}, request_id=1, replica="replica-0")
+        route(harness, "write-t", {"key": 1, "v": 6}, request_id=2, replica="replica-1")
+        env.run()
+        committed = [r for r in harness.responses() if r.committed]
+        assert len(committed) == 1
+        assert harness.certifier.abort_count + sum(
+            p.early_abort_count for p in harness.proxies.values()
+        ) >= 1
+
+    def test_version_stage_waits_for_start_version(self, env, harness):
+        seed(harness)
+        # Ask replica-1 (still at version 0) for start_version=1.
+        route(harness, "read-t", {"key": 1}, start_version=1,
+              request_id=2, replica="replica-1")
+        env.run(until=1.0)
+        assert harness.responses() == []  # still waiting
+        # Now commit an update via replica-0 so version 1 propagates.
+        route(harness, "write-t", {"key": 1, "v": 9}, request_id=1, replica="replica-0")
+        env.run()
+        responses = harness.responses()
+        read = next(r for r in responses if r.request_id == 2)
+        assert read.committed
+        assert read.stages.version > 0.0
+        assert read.result["v"] == 9  # strong consistency: saw the update
+        assert read.snapshot_version == 1
+
+
+class TestRefreshApplication:
+    def test_refreshes_apply_in_version_order(self, env, harness):
+        proxy = harness.proxy(1)
+        seed(harness)
+        # Deliver versions out of order straight to the proxy.
+        harness.network.send("certifier", "replica-1", RefreshWriteset(2, ws(1, 20), "replica-0", 11))
+        harness.network.send("certifier", "replica-1", RefreshWriteset(3, ws(1, 30), "replica-0", 12))
+        env.run()
+        assert proxy.v_local == 0  # gap at version 1 blocks application
+        assert proxy.pending_refresh_count == 2
+        harness.network.send("certifier", "replica-1", RefreshWriteset(1, ws(1, 10), "replica-0", 10))
+        env.run()
+        assert proxy.v_local == 3
+        assert proxy.engine.database.table("t").read(1, 3)["v"] == 30
+
+    def test_duplicate_refresh_ignored(self, env, harness):
+        proxy = harness.proxy(1)
+        seed(harness)
+        harness.network.send("certifier", "replica-1", RefreshWriteset(1, ws(1, 10), "replica-0", 10))
+        env.run()
+        assert proxy.v_local == 1
+        harness.network.send("certifier", "replica-1", RefreshWriteset(1, ws(1, 10), "replica-0", 10))
+        env.run()
+        assert proxy.v_local == 1
+        assert proxy.refresh_applied_count == 1
+
+
+class TestEarlyCertification:
+    def test_statement_side_conflict_with_pending_refresh(self, env, harness):
+        """A pending (unapplied) refresh writing the same row aborts the
+        local update at statement time."""
+        proxy = harness.proxy(1)
+        seed(harness)
+        # Version 2 arrives but version 1 is missing -> stays pending.
+        harness.network.send("certifier", "replica-1", RefreshWriteset(2, ws(1, 20), "replica-0", 11))
+        env.run()
+        assert proxy.pending_refresh_count == 1
+        route(harness, "write-t", {"key": 1, "v": 99}, request_id=5, replica="replica-1")
+        env.run()
+        response = harness.responses()[0]
+        assert not response.committed
+        assert "early certification" in response.abort_reason
+        assert proxy.early_abort_count == 1
+
+    def test_precheck_against_newer_committed_write(self, env, harness):
+        """With the committed-row pre-check on, a transaction on a stale
+        snapshot aborts locally instead of round-tripping to the certifier."""
+        proxy = harness.proxy(0)
+        seed(harness)
+        txn = proxy.engine.begin(snapshot_version=0)
+        proxy.engine.update(txn, "t", 1, {"v": 50})
+        # Apply a newer committed version under it.
+        proxy.engine.apply_refresh(ws(1, 20), 1)
+        reason = proxy.early_certification_conflict(txn)
+        assert reason is not None and "overwritten" in reason
+
+    def test_no_conflict_returns_none(self, env, harness):
+        proxy = harness.proxy(0)
+        seed(harness)
+        txn = proxy.engine.begin()
+        proxy.engine.update(txn, "t", 1, {"v": 50})
+        assert proxy.early_certification_conflict(txn) is None
+
+
+class TestEagerStage:
+    def test_global_stage_present_only_in_eager(self, env):
+        eager = Harness(env, level=ConsistencyLevel.EAGER)
+        seed(eager, 1, 0)
+        route(eager, "write-t", {"key": 1, "v": 5}, request_id=1)
+        env.run()
+        response = eager.responses()[0]
+        assert response.committed
+        assert response.stages.global_ > 0.0
+
+    def test_lazy_has_zero_global_stage(self, env, harness):
+        seed(harness)
+        route(harness, "write-t", {"key": 1, "v": 5}, request_id=1)
+        env.run()
+        assert harness.responses()[0].stages.global_ == 0.0
+
+
+class TestCrash:
+    def test_crashed_replica_does_not_respond(self, env, harness):
+        seed(harness)
+        harness.proxy(0).crash()
+        harness.network.take_down("replica-0")
+        route(harness, "read-t", {"key": 1}, request_id=1)
+        env.run()
+        assert harness.responses() == []
+
+    def test_recovery_replays_via_certifier(self, env, harness):
+        seed(harness)
+        route(harness, "write-t", {"key": 1, "v": 1}, request_id=1, replica="replica-0")
+        env.run()
+        harness.responses()
+        victim = harness.proxy(1)
+        victim.crash()
+        harness.network.take_down("replica-1")
+        # Two more commits while replica-1 is down.
+        route(harness, "write-t", {"key": 1, "v": 2}, request_id=2, replica="replica-0")
+        env.run()
+        route(harness, "write-t", {"key": 1, "v": 3}, request_id=3, replica="replica-0")
+        env.run()
+        assert victim.v_local == 1
+        victim.recover()
+        env.run()
+        assert victim.v_local == 3
+        assert victim.engine.database.table("t").read(1, 3)["v"] == 3

@@ -1,0 +1,145 @@
+"""Tests for the network fabric."""
+
+import pytest
+
+from repro.sim import Environment, LatencyModel, Network, RngRegistry
+
+
+@pytest.fixture
+def net(env):
+    rng = RngRegistry(9).stream("net")
+    return Network(env, rng, LatencyModel(base=1.0, jitter=0.0))
+
+
+def receive_one(env, mailbox):
+    def proc(env):
+        message = yield mailbox.receive()
+        return (env.now, message)
+
+    return env.process(proc(env))
+
+
+class TestRegistration:
+    def test_register_returns_mailbox(self, env, net):
+        mailbox = net.register("a")
+        assert mailbox.name == "a"
+        assert len(mailbox) == 0
+
+    def test_duplicate_registration_rejected(self, env, net):
+        net.register("a")
+        with pytest.raises(ValueError):
+            net.register("a")
+
+    def test_mailbox_lookup(self, env, net):
+        created = net.register("a")
+        assert net.mailbox("a") is created
+
+    def test_send_to_unknown_endpoint_rejected(self, env, net):
+        with pytest.raises(KeyError):
+            net.send("x", "nowhere", "msg")
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, env, net):
+        mailbox = net.register("a")
+        net.send("src", "a", "hello")
+        p = receive_one(env, mailbox)
+        env.run()
+        assert p.value == (1.0, "hello")
+
+    def test_messages_preserve_send_order_same_link(self, env, net):
+        mailbox = net.register("a")
+        for i in range(3):
+            net.send("src", "a", i)
+        received = []
+
+        def consumer(env):
+            for _ in range(3):
+                message = yield mailbox.receive()
+                received.append(message)
+
+        env.process(consumer(env))
+        env.run()
+        assert received == [0, 1, 2]
+
+    def test_jitter_varies_latency(self, env):
+        rng = RngRegistry(9).stream("jitter")
+        net = Network(env, rng, LatencyModel(base=1.0, jitter=5.0))
+        mailbox = net.register("a")
+        arrivals = []
+
+        def consumer(env):
+            while True:
+                yield mailbox.receive()
+                arrivals.append(env.now)
+
+        env.process(consumer(env))
+        for _ in range(10):
+            net.send("src", "a", "m")
+        env.run(until=100.0)
+        assert len(arrivals) == 10
+        assert all(1.0 <= t <= 6.0 for t in arrivals)
+        assert len(set(arrivals)) > 1
+
+    def test_sent_count(self, env, net):
+        net.register("a")
+        net.send("x", "a", 1)
+        net.send("x", "a", 2)
+        assert net.sent_count == 2
+
+    def test_delivered_count_on_mailbox(self, env, net):
+        mailbox = net.register("a")
+        net.send("x", "a", 1)
+        env.run()
+        assert mailbox.delivered_count == 1
+
+
+class TestFaults:
+    def test_messages_to_down_endpoint_dropped(self, env, net):
+        mailbox = net.register("a")
+        net.take_down("a")
+        net.send("x", "a", "lost")
+        env.run()
+        assert len(mailbox) == 0
+        assert net.dropped_count == 1
+
+    def test_in_flight_message_dropped_on_crash(self, env, net):
+        mailbox = net.register("a")
+        net.send("x", "a", "in-flight")
+        net.take_down("a")  # crash before delivery
+        env.run()
+        assert len(mailbox) == 0
+        assert net.dropped_count == 1
+
+    def test_bring_up_resumes_delivery(self, env, net):
+        mailbox = net.register("a")
+        net.take_down("a")
+        net.send("x", "a", "lost")
+        net.bring_up("a")
+        net.send("x", "a", "delivered")
+        env.run()
+        assert len(mailbox) == 1
+
+    def test_is_down(self, env, net):
+        net.register("a")
+        assert not net.is_down("a")
+        net.take_down("a")
+        assert net.is_down("a")
+
+
+class TestTaps:
+    def test_tap_observes_all_sends(self, env, net):
+        net.register("a")
+        seen = []
+        net.add_tap(lambda s, r, m: seen.append((s, r, m)))
+        net.send("x", "a", "m1")
+        net.send("y", "a", "m2")
+        assert seen == [("x", "a", "m1"), ("y", "a", "m2")]
+
+    def test_tap_sees_dropped_messages_too(self, env, net):
+        net.register("a")
+        seen = []
+        net.add_tap(lambda s, r, m: seen.append(m))
+        net.take_down("a")
+        net.send("x", "a", "m")
+        assert seen == ["m"]

@@ -1,0 +1,110 @@
+"""Tests for deterministic random streams."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Rng, RngRegistry
+
+
+class TestRegistry:
+    def test_same_name_returns_same_stream(self):
+        reg = RngRegistry(1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_streams_are_deterministic_across_registries(self):
+        a = RngRegistry(1).stream("s")
+        b = RngRegistry(1).stream("s")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_give_independent_streams(self):
+        reg = RngRegistry(1)
+        a = [reg.stream("a").random() for _ in range(5)]
+        b = [reg.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_give_different_streams(self):
+        a = RngRegistry(1).stream("s")
+        b = RngRegistry(2).stream("s")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_creation_order_does_not_matter(self):
+        reg1 = RngRegistry(7)
+        reg1.stream("x")
+        first = reg1.stream("y").random()
+        reg2 = RngRegistry(7)
+        second = reg2.stream("y").random()
+        assert first == second
+
+    def test_contains(self):
+        reg = RngRegistry(1)
+        assert "a" not in reg
+        reg.stream("a")
+        assert "a" in reg
+
+
+class TestDistributions:
+    def test_uniform_bounds(self, rng):
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value < 3.0
+
+    def test_randint_inclusive(self, rng):
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_exponential_mean(self):
+        rng = RngRegistry(42).stream("exp")
+        samples = [rng.exponential(10.0) for _ in range(20_000)]
+        assert all(s >= 0 for s in samples)
+        assert abs(sum(samples) / len(samples) - 10.0) < 0.5
+
+    def test_exponential_rejects_nonpositive_mean(self, rng):
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_lognormal_service_mean_and_positivity(self):
+        rng = RngRegistry(42).stream("logn")
+        samples = [rng.lognormal_service(5.0, cv=0.3) for _ in range(20_000)]
+        assert all(s > 0 for s in samples)
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 5.0) < 0.2
+
+    def test_lognormal_cv_controls_spread(self):
+        tight = RngRegistry(1).stream("t")
+        wide = RngRegistry(1).stream("w")
+        tight_samples = [tight.lognormal_service(5.0, cv=0.05) for _ in range(5_000)]
+        wide_samples = [wide.lognormal_service(5.0, cv=1.0) for _ in range(5_000)]
+
+        def stdev(xs):
+            mean = sum(xs) / len(xs)
+            return math.sqrt(sum((x - mean) ** 2 for x in xs) / len(xs))
+
+        assert stdev(tight_samples) < stdev(wide_samples)
+
+    def test_lognormal_rejects_nonpositive_mean(self, rng):
+        with pytest.raises(ValueError):
+            rng.lognormal_service(-1.0)
+
+    def test_choice_and_weighted_choice(self, rng):
+        seq = ["a", "b", "c"]
+        assert rng.choice(seq) in seq
+        always_b = rng.weighted_choice(seq, [0.0, 1.0, 0.0])
+        assert always_b == "b"
+
+    def test_weighted_choice_respects_weights_statistically(self):
+        rng = RngRegistry(3).stream("w")
+        picks = [rng.weighted_choice(["x", "y"], [0.9, 0.1]) for _ in range(2_000)]
+        x_fraction = picks.count("x") / len(picks)
+        assert 0.85 < x_fraction < 0.95
+
+    def test_sample_distinct(self, rng):
+        picked = rng.sample(list(range(100)), 10)
+        assert len(picked) == len(set(picked)) == 10
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(min_size=1, max_size=20))
+    def test_any_seed_and_name_yield_working_stream(self, seed, name):
+        stream = RngRegistry(seed).stream(name)
+        value = stream.random()
+        assert 0.0 <= value < 1.0

@@ -1,0 +1,122 @@
+"""Tests for schema definitions and validation."""
+
+import pytest
+
+from repro.storage import Column, SchemaError, TableSchema
+
+
+class TestColumn:
+    def test_valid_column(self):
+        col = Column("name", str)
+        assert col.name == "name"
+        assert not col.nullable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", int)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("c", list)
+
+    def test_validate_accepts_matching_type(self):
+        Column("c", int).validate(5)
+        Column("c", str).validate("x")
+        Column("c", float).validate(1.5)
+        Column("c", bool).validate(True)
+
+    def test_validate_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            Column("c", int).validate("not an int")
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(SchemaError):
+            Column("c", int).validate(True)
+
+    def test_int_accepted_as_float(self):
+        Column("c", float).validate(3)
+
+    def test_none_rejected_for_non_nullable(self):
+        with pytest.raises(SchemaError):
+            Column("c", int).validate(None)
+
+    def test_none_accepted_for_nullable(self):
+        Column("c", int, nullable=True).validate(None)
+
+
+class TestTableSchema:
+    def make(self, **kwargs):
+        defaults = dict(
+            name="t",
+            columns=[Column("id", int), Column("v", str)],
+            primary_key="id",
+        )
+        defaults.update(kwargs)
+        return TableSchema(**defaults)
+
+    def test_valid_schema(self):
+        schema = self.make()
+        assert schema.column_names == ("id", "v")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            self.make(columns=[])
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            self.make(columns=[Column("id", int), Column("id", str)])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            self.make(primary_key="missing")
+
+    def test_nullable_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            self.make(columns=[Column("id", int, nullable=True)], primary_key="id")
+
+    def test_unknown_index_column_rejected(self):
+        with pytest.raises(SchemaError):
+            self.make(indexes=["missing"])
+
+    def test_column_lookup(self):
+        schema = self.make()
+        assert schema.column("v").type_ is str
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_validate_row_full(self):
+        schema = self.make()
+        schema.validate_row({"id": 1, "v": "x"})
+
+    def test_validate_row_missing_column_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1})
+
+    def test_validate_row_partial_allows_missing(self):
+        schema = self.make()
+        schema.validate_row({"v": "x"}, partial=True)
+
+    def test_validate_row_unknown_column_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "v": "x", "extra": 2})
+
+    def test_validate_row_type_checked(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": "not int", "v": "x"})
+
+    def test_key_of(self):
+        schema = self.make()
+        assert schema.key_of({"id": 9, "v": "x"}) == 9
+
+    def test_key_of_missing_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.key_of({"v": "x"})
+
+    def test_columns_are_frozen_tuple(self):
+        schema = self.make()
+        assert isinstance(schema.columns, tuple)
+        assert isinstance(schema.indexes, tuple)

@@ -1,0 +1,114 @@
+"""Tests for writesets and their conflict predicate."""
+
+import pytest
+
+from repro.storage import OpKind, WriteOp, WriteSet
+
+
+def ins(table, key, **values):
+    values.setdefault("id", key)
+    return WriteOp(table, key, OpKind.INSERT, values)
+
+
+def upd(table, key, **values):
+    values.setdefault("id", key)
+    return WriteOp(table, key, OpKind.UPDATE, values)
+
+
+def dele(table, key):
+    return WriteOp(table, key, OpKind.DELETE)
+
+
+class TestWriteOp:
+    def test_insert_requires_values(self):
+        with pytest.raises(ValueError):
+            WriteOp("t", 1, OpKind.INSERT, None)
+
+    def test_delete_discards_values(self):
+        op = WriteOp("t", 1, OpKind.DELETE, {"ignored": 1})
+        assert op.values is None
+
+    def test_values_copied(self):
+        source = {"id": 1, "v": 2}
+        op = WriteOp("t", 1, OpKind.INSERT, source)
+        source["v"] = 99
+        assert op.values["v"] == 2
+
+
+class TestWriteSet:
+    def test_empty(self):
+        ws = WriteSet()
+        assert ws.is_empty
+        assert not ws
+        assert len(ws) == 0
+        assert ws.tables == frozenset()
+
+    def test_add_and_iterate_in_order(self):
+        ws = WriteSet([ins("a", 1), upd("b", 2)])
+        assert [op.table for op in ws] == ["a", "b"]
+        assert len(ws) == 2
+
+    def test_later_op_replaces_earlier_same_slot(self):
+        ws = WriteSet([upd("a", 1, v=1), upd("a", 1, v=2)])
+        assert len(ws) == 1
+        assert ws.op_for("a", 1).values["v"] == 2
+
+    def test_tables_property(self):
+        ws = WriteSet([ins("a", 1), ins("b", 2), upd("a", 3)])
+        assert ws.tables == frozenset({"a", "b"})
+
+    def test_keys_for(self):
+        ws = WriteSet([ins("a", 1), ins("a", 2), ins("b", 9)])
+        assert ws.keys_for("a") == frozenset({1, 2})
+        assert ws.keys_for("missing") == frozenset()
+
+    def test_contains_slot(self):
+        ws = WriteSet([ins("a", 1)])
+        assert ("a", 1) in ws
+        assert ("a", 2) not in ws
+
+    def test_op_for_missing_is_none(self):
+        assert WriteSet().op_for("a", 1) is None
+
+
+class TestConflicts:
+    def test_same_slot_conflicts(self):
+        w1 = WriteSet([upd("a", 1, v=1)])
+        w2 = WriteSet([dele("a", 1)])
+        assert w1.conflicts_with(w2)
+        assert w2.conflicts_with(w1)
+
+    def test_different_keys_do_not_conflict(self):
+        w1 = WriteSet([upd("a", 1, v=1)])
+        w2 = WriteSet([upd("a", 2, v=1)])
+        assert not w1.conflicts_with(w2)
+
+    def test_different_tables_do_not_conflict(self):
+        w1 = WriteSet([upd("a", 1, v=1)])
+        w2 = WriteSet([upd("b", 1, v=1)])
+        assert not w1.conflicts_with(w2)
+
+    def test_empty_writeset_never_conflicts(self):
+        w1 = WriteSet()
+        w2 = WriteSet([upd("a", 1, v=1)])
+        assert not w1.conflicts_with(w2)
+        assert not w2.conflicts_with(w1)
+
+    def test_conflicting_slots(self):
+        w1 = WriteSet([upd("a", 1, v=1), upd("a", 2, v=1), upd("b", 3, v=1)])
+        w2 = WriteSet([upd("a", 2, v=9), upd("b", 3, v=9), upd("c", 4, v=9)])
+        assert w1.conflicting_slots(w2) == frozenset({("a", 2), ("b", 3)})
+
+    def test_conflict_is_symmetric_on_random_sets(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(50):
+            w1 = WriteSet(
+                upd("t", rng.randint(1, 20), v=1) for _ in range(rng.randint(0, 8))
+            )
+            w2 = WriteSet(
+                upd("t", rng.randint(1, 20), v=1) for _ in range(rng.randint(0, 8))
+            )
+            assert w1.conflicts_with(w2) == w2.conflicts_with(w1)
+            assert w1.conflicts_with(w2) == bool(w1.conflicting_slots(w2))

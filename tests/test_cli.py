@@ -1,0 +1,71 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+    def test_fig_flags(self):
+        args = build_parser().parse_args(["fig3", "--full", "--seed", "7"])
+        assert args.full and args.seed == 7
+
+    def test_audit_level_choices(self):
+        args = build_parser().parse_args(["audit", "--level", "sc-fine"])
+        assert args.level == "sc-fine"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--level", "bogus"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "SC-FINE V_local >= 1" in out
+
+    def test_levels(self, capsys):
+        assert main(["levels"]) == 0
+        out = capsys.readouterr().out
+        assert "sc-coarse" in out
+        assert "strong" in out
+
+    def test_audit_runs_and_reports(self, capsys):
+        code = main([
+            "audit", "--level", "sc-coarse", "--replicas", "2",
+            "--clients", "4", "--duration-ms", "400",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strong consistency (observational): True" in out
+        assert "TPS" in out
+
+    def test_audit_tpcw_workload(self, capsys):
+        code = main([
+            "audit", "--workload", "tpcw", "--level", "sc-fine",
+            "--replicas", "2", "--clients", "6", "--duration-ms", "600",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload=tpcw" in out
+        assert "strong consistency (observational): True" in out
+
+    def test_audit_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--workload", "tpce"])
+
+    def test_audit_baseline_reports_violation(self, capsys):
+        main([
+            "audit", "--level", "baseline", "--replicas", "4",
+            "--clients", "12", "--duration-ms", "800",
+        ])
+        out = capsys.readouterr().out
+        assert "strong consistency (observational): False" in out

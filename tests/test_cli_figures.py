@@ -1,0 +1,92 @@
+"""Fast CLI figure tests: the experiment functions are stubbed so these
+exercise only the CLI's wiring and rendering."""
+
+import pytest
+
+from repro.bench.experiments import BreakdownResult, SeriesResult
+from repro.cli import main
+from repro.metrics import StageTimings
+
+
+def series(title="Stub series"):
+    return SeriesResult(
+        title=title, x_label="replicas", x_values=[1, 2],
+        series={"SC-FINE": [10.0, 20.0], "EAGER": [9.0, 11.0]},
+    )
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    from repro.bench import experiments
+
+    monkeypatch.setattr(experiments, "fig3", lambda quick, seed: series("Figure 3 stub"))
+    monkeypatch.setattr(
+        experiments, "fig4",
+        lambda quick, seed: {
+            "25%": BreakdownResult(
+                title="Figure 4 stub",
+                breakdowns={"EAGER": StageTimings(global_=5.0)},
+            )
+        },
+    )
+    monkeypatch.setattr(
+        experiments, "fig5",
+        lambda quick, seed: {
+            "shopping": {"throughput": series("5a"), "response": series("5b")}
+        },
+    )
+    monkeypatch.setattr(
+        experiments, "fig6", lambda quick, seed: {"shopping": series("Figure 6 stub")}
+    )
+    monkeypatch.setattr(
+        experiments, "fig7", lambda quick, seed: {"ordering": series("Figure 7 stub")}
+    )
+    return experiments
+
+
+class TestFigureCommands:
+    def test_fig3(self, stubbed, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3 stub" in out
+        assert "SC-FINE" in out
+        assert "legend:" in out  # the ASCII chart rendered too
+
+    def test_fig4(self, stubbed, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4 stub" in out
+        assert "global" in out
+
+    def test_fig5(self, stubbed, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "5a" in out and "5b" in out
+
+    def test_fig6_and_fig7(self, stubbed, capsys):
+        assert main(["fig6"]) == 0
+        assert "Figure 6 stub" in capsys.readouterr().out
+        assert main(["fig7"]) == 0
+        assert "Figure 7 stub" in capsys.readouterr().out
+
+    def test_all_runs_every_figure(self, stubbed, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        for marker in ("Figure 3 stub", "Figure 4 stub", "5a",
+                       "Figure 6 stub", "Figure 7 stub"):
+            assert marker in out
+
+    def test_full_flag_threads_through(self, monkeypatch, capsys):
+        from repro.bench import experiments
+
+        seen = {}
+
+        def fake_fig3(quick, seed):
+            seen["quick"] = quick
+            seen["seed"] = seed
+            return series()
+
+        monkeypatch.setattr(experiments, "fig3", fake_fig3)
+        main(["fig3", "--full", "--seed", "5"])
+        assert seen == {"quick": False, "seed": 5}

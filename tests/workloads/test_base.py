@@ -1,0 +1,67 @@
+"""Tests for transaction templates and the catalog."""
+
+import pytest
+
+from repro.workloads import TemplateCatalog, TransactionTemplate, TxnCall
+
+
+def template(name="t1", tables=("a",), is_update=False):
+    return TransactionTemplate(
+        name=name,
+        table_set=frozenset(tables),
+        body=lambda ctx, params: None,
+        is_update=is_update,
+    )
+
+
+class TestTransactionTemplate:
+    def test_valid_template(self):
+        t = template()
+        assert t.name == "t1"
+        assert t.table_set == frozenset({"a"})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            template(name="")
+
+    def test_empty_table_set_rejected(self):
+        with pytest.raises(ValueError):
+            template(tables=())
+
+    def test_table_set_frozen(self):
+        t = TransactionTemplate("t", {"a", "b"}, lambda c, p: None)
+        assert isinstance(t.table_set, frozenset)
+
+
+class TestTemplateCatalog:
+    def test_register_and_lookup(self):
+        catalog = TemplateCatalog([template("a"), template("b")])
+        assert catalog["a"].name == "a"
+        assert catalog.get("b") is not None
+        assert catalog.get("missing") is None
+        assert "a" in catalog
+        assert len(catalog) == 2
+
+    def test_duplicate_name_rejected(self):
+        catalog = TemplateCatalog([template("a")])
+        with pytest.raises(ValueError):
+            catalog.register(template("a"))
+
+    def test_names_in_registration_order(self):
+        catalog = TemplateCatalog([template("z"), template("a")])
+        assert catalog.names == ("z", "a")
+
+    def test_table_set_lookup(self):
+        catalog = TemplateCatalog([template("t", tables=("x", "y"))])
+        assert catalog.table_set("t") == frozenset({"x", "y"})
+
+    def test_iteration(self):
+        catalog = TemplateCatalog([template("a"), template("b")])
+        assert [t.name for t in catalog] == ["a", "b"]
+
+
+class TestTxnCall:
+    def test_fields(self):
+        call = TxnCall("t1", {"key": 5})
+        assert call.template == "t1"
+        assert call.params == {"key": 5}

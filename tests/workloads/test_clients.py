@@ -1,0 +1,60 @@
+"""Tests for the closed-loop client pool."""
+
+import pytest
+
+from repro import ConsistencyLevel, ReplicatedDatabase
+from repro.metrics import MetricsCollector
+from repro.workloads import MicroBenchmark
+
+
+def cluster_with_clients(count, retry_aborts=False, **kwargs):
+    workload = MicroBenchmark(update_types=20, rows_per_table=50)
+    cluster = ReplicatedDatabase(
+        workload, num_replicas=2, level=ConsistencyLevel.SC_COARSE, seed=9, **kwargs
+    )
+    collector = MetricsCollector()
+    cluster.add_clients(count, collector, retry_aborts=retry_aborts)
+    return cluster, collector
+
+
+class TestClientPool:
+    def test_clients_generate_load(self):
+        cluster, collector = cluster_with_clients(4)
+        cluster.run(500.0)
+        assert collector.samples
+        assert cluster.client_pool.completed == len(collector.samples) + collector.discarded
+
+    def test_client_ids_are_sessions(self):
+        cluster, _ = cluster_with_clients(3)
+        assert cluster.client_pool.client_ids == ["client-0", "client-1", "client-2"]
+
+    def test_closed_loop_one_outstanding_per_client(self):
+        """A client never has two requests in flight: committed sample count
+        per client grows one at a time (ack times strictly ordered)."""
+        cluster, collector = cluster_with_clients(1)
+        cluster.run(300.0)
+        acks = [s.ack_time for s in collector.samples]
+        assert acks == sorted(acks)
+        submits = [s.submit_time for s in collector.samples]
+        for i in range(1, len(collector.samples)):
+            assert submits[i] >= acks[i - 1]
+
+    def test_samples_record_update_flag(self):
+        cluster, collector = cluster_with_clients(4)
+        cluster.run(500.0)
+        kinds = {s.is_update for s in collector.samples}
+        assert kinds == {True, False}
+
+    def test_incremental_spawn(self):
+        cluster, collector = cluster_with_clients(2)
+        cluster.client_pool.spawn(3)
+        assert len(cluster.client_pool.client_ids) == 5
+
+    def test_retry_aborts_reissues_same_call(self):
+        cluster, collector = cluster_with_clients(8, retry_aborts=True)
+        cluster.run(1500.0)
+        aborted = [s for s in collector.samples if not s.committed]
+        # With retries enabled every aborted sample is followed by a retry
+        # of the same template from the same virtual client; total committed
+        # work continues after aborts.
+        assert collector.samples[-1].committed or aborted

@@ -1,0 +1,155 @@
+"""Tests for the micro-benchmark workload."""
+
+import pytest
+
+from repro.sim import RngRegistry
+from repro.storage import Database
+from repro.workloads import MicroBenchmark
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(3).stream("wl")
+
+
+class TestConfiguration:
+    def test_default_matches_paper(self):
+        wl = MicroBenchmark()
+        assert wl.num_tables == 4
+        assert wl.total_types == 40
+        assert wl.rows_per_table == 10_000
+
+    def test_update_fraction(self):
+        assert MicroBenchmark(update_types=0).update_fraction == 0.0
+        assert MicroBenchmark(update_types=10).update_fraction == 0.25
+        assert MicroBenchmark(update_types=40).update_fraction == 1.0
+
+    def test_invalid_update_count_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBenchmark(update_types=41)
+        with pytest.raises(ValueError):
+            MicroBenchmark(update_types=-1)
+
+    def test_types_must_divide_tables(self):
+        with pytest.raises(ValueError):
+            MicroBenchmark(total_types=41)
+
+
+class TestCatalog:
+    def test_forty_templates(self):
+        catalog = MicroBenchmark().catalog()
+        assert len(catalog) == 40
+
+    def test_update_read_split(self):
+        catalog = MicroBenchmark(update_types=10).catalog()
+        updates = [t for t in catalog if t.is_update]
+        reads = [t for t in catalog if not t.is_update]
+        assert len(updates) == 10
+        assert len(reads) == 30
+
+    def test_each_template_targets_one_table(self):
+        for t in MicroBenchmark().catalog():
+            assert len(t.table_set) == 1
+
+    def test_templates_spread_over_tables(self):
+        wl = MicroBenchmark(update_types=8)
+        tables = [next(iter(t.table_set)) for t in wl.catalog() if t.is_update]
+        assert sorted(set(tables)) == wl.tables  # every table has updates
+
+
+class TestPopulate:
+    def test_row_counts(self, rng):
+        wl = MicroBenchmark(rows_per_table=50)
+        db = Database()
+        for schema in wl.schemas():
+            db.create_table(schema)
+        wl.populate(db, rng)
+        assert db.version == 0
+        for table in wl.tables:
+            assert db.table(table).count(0) == 50
+
+    def test_population_is_deterministic(self):
+        wl = MicroBenchmark(rows_per_table=20)
+
+        def build():
+            db = Database()
+            for schema in wl.schemas():
+                db.create_table(schema)
+            wl.populate(db, RngRegistry(5).stream("populate"))
+            return [
+                db.table(t).read(k, 0)["payload"]
+                for t in wl.tables
+                for k in range(1, 21)
+            ]
+
+        assert build() == build()
+
+
+class TestCalls:
+    def test_keys_within_range(self, rng):
+        wl = MicroBenchmark(rows_per_table=30)
+        for _ in range(100):
+            call = wl.next_call("client-0", rng)
+            assert 1 <= call.params["key"] <= 30
+            assert call.template in wl.catalog()
+
+    def test_no_think_time(self, rng):
+        assert MicroBenchmark().think_time_ms("c", rng) == 0.0
+
+    def test_mix_ratio_statistical(self, rng):
+        wl = MicroBenchmark(update_types=10)
+        catalog = wl.catalog()
+        picks = [wl.next_call("c", rng) for _ in range(2_000)]
+        update_fraction = sum(
+            1 for call in picks if catalog[call.template].is_update
+        ) / len(picks)
+        assert 0.20 < update_fraction < 0.30
+
+
+class TestTablesPerTxn:
+    def test_width_controls_table_set(self):
+        wl = MicroBenchmark(tables_per_txn=3)
+        for template in wl.catalog():
+            assert len(template.table_set) == 3
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBenchmark(tables_per_txn=0)
+        with pytest.raises(ValueError):
+            MicroBenchmark(tables_per_txn=5)
+
+    def test_full_width_covers_all_tables(self):
+        wl = MicroBenchmark(tables_per_txn=4)
+        for template in wl.catalog():
+            assert template.table_set == frozenset(wl.tables)
+
+    def test_wide_update_touches_every_table(self):
+        from ..conftest import make_cluster
+        from repro import ReplicatedDatabase
+
+        wl = MicroBenchmark(update_types=4, total_types=4, rows_per_table=10,
+                            tables_per_txn=2)
+        cluster = ReplicatedDatabase(wl, num_replicas=1, seed=0)
+        session = cluster.open_session("s")
+        response = session.execute("micro-update-0", {"key": 1})
+        # The writeset spans exactly the declared table-set.
+        db = cluster.replica(0).engine.database
+        touched = {
+            table for table in wl.tables
+            if db.latest_write_version(table, 1) == response.commit_version
+        }
+        assert touched == cluster.templates["micro-update-0"].table_set
+
+
+class TestBodies:
+    def test_read_and_update_bodies_via_cluster(self):
+        from ..conftest import make_cluster
+
+        cluster = make_cluster(update_types=10, rows=20)
+        session = cluster.open_session("s")
+        # micro-update-0 and micro-read-12 both target table t0.
+        before = session.result("micro-read-12", {"key": 3})
+        returned = session.execute("micro-update-0", {"key": 3}).result
+        after = session.result("micro-read-12", {"key": 3})
+        assert returned == before["payload"] + 1
+        assert after["payload"] == before["payload"] + 1
