@@ -24,20 +24,30 @@ Quickstart::
 """
 
 from .core import (
+    BoundedStalenessPolicy,
     ClusterConfig,
     ConsistencyLevel,
+    ConsistencyPolicy,
     ReplicatedDatabase,
     SyncSession,
     VersionTracker,
+    available_policies,
+    register_policy,
+    resolve_policy,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BoundedStalenessPolicy",
     "ClusterConfig",
     "ConsistencyLevel",
+    "ConsistencyPolicy",
     "ReplicatedDatabase",
     "SyncSession",
     "VersionTracker",
+    "available_policies",
+    "register_policy",
+    "resolve_policy",
     "__version__",
 ]

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 from ..core.cluster import ClusterConfig, ReplicatedDatabase
 from ..core.consistency import ConsistencyLevel
+from ..core.policy import ConsistencyPolicy
 from ..histories.checkers import (
     is_session_consistent,
     is_strongly_consistent,
@@ -37,7 +38,8 @@ class ExperimentConfig:
     """Everything needed to reproduce one measured run."""
 
     workload_factory: Callable[[], Workload]
-    level: ConsistencyLevel
+    #: a ConsistencyLevel member, a registered policy spec, or a policy
+    level: "ConsistencyLevel | str | ConsistencyPolicy"
     num_replicas: int
     clients: int
     warmup_ms: float = 5_000.0

@@ -5,7 +5,7 @@ Usage::
     python -m repro table1
     python -m repro fig3 [--full] [--seed N]
     python -m repro fig4 | fig5 | fig6 | fig7 [--full] [--seed N]
-    python -m repro audit [--level sc-fine] [--replicas 4] [--clients 16]
+    python -m repro audit [--level sc-fine|bounded:3] [--replicas 4] [--clients 16]
     python -m repro levels
 
 ``--full`` switches from the quick windows to the paper-scale sweeps
@@ -19,9 +19,19 @@ import sys
 from typing import Optional, Sequence
 
 from .bench import experiments
-from .core.consistency import ConsistencyLevel
+from .core.policy import available_policies, resolve_policy
 
 __all__ = ["main", "build_parser"]
+
+
+def _policy_spec(spec: str) -> str:
+    """argparse type for ``--level``: validate against the policy registry,
+    keeping the raw spec string for later resolution."""
+    try:
+        resolve_policy(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return spec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,8 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
         "audit", help="run a loaded cluster and audit its consistency"
     )
     audit.add_argument(
-        "--level", default="sc-coarse",
-        choices=[level.value for level in ConsistencyLevel],
+        "--level", default="sc-coarse", type=_policy_spec,
+        metavar="{" + ",".join(available_policies()) + "}[:K]",
+        help="a registered consistency policy, optionally parameterized "
+             "(e.g. sc-fine, bounded:3, relaxed:5)",
     )
     audit.add_argument(
         "--workload", default="micro", choices=["micro", "tpcw", "tpcc"],
@@ -109,10 +121,10 @@ def _run_audit(args) -> str:
                                       customers_per_district=20,
                                       num_items=100),
     }
-    level = ConsistencyLevel(args.level)
+    policy = resolve_policy(args.level)
     cluster = ReplicatedDatabase(
         factories[args.workload](),
-        ClusterConfig(num_replicas=args.replicas, level=level, seed=args.seed),
+        ClusterConfig(num_replicas=args.replicas, level=policy, seed=args.seed),
     )
     collector = MetricsCollector()
     cluster.add_clients(args.clients, collector)
@@ -121,7 +133,7 @@ def _run_audit(args) -> str:
     history = cluster.history
     staleness = staleness_report(history)
     lines = [
-        f"workload={args.workload} level={level.label} replicas={args.replicas} "
+        f"workload={args.workload} level={policy.label} replicas={args.replicas} "
         f"clients={args.clients} virtual-duration={args.duration_ms:.0f}ms",
         f"throughput: {summary.tps:.1f} TPS, response {summary.mean_response_ms:.2f} ms, "
         f"aborts {summary.aborted}",
@@ -137,15 +149,17 @@ def _run_audit(args) -> str:
 
 def _run_levels() -> str:
     lines = ["Consistency configurations:"]
-    for level in ConsistencyLevel:
+    for name in available_policies():
+        policy = resolve_policy(name)
         traits = []
-        if level.is_strong:
+        if policy.is_strong:
             traits.append("strong")
-        if level.is_lazy:
+        if policy.is_lazy:
             traits.append("lazy")
-        if level.uses_start_delay:
+        if policy.uses_start_delay:
             traits.append("start-delay")
-        lines.append(f"  {level.value:10s} ({level.label}) — {', '.join(traits) or '—'}")
+        spec = name if name == policy.spec else f"{name}[:K]"
+        lines.append(f"  {spec:12s} ({policy.label}) — {', '.join(traits) or '—'}")
     return "\n".join(lines)
 
 

@@ -1,19 +1,32 @@
 """The paper's contribution: consistency configurations over lazy replication.
 
 Public API: build a :class:`ReplicatedDatabase` over a workload with one of
-the :class:`ConsistencyLevel` configurations, then drive it with sessions or
-closed-loop clients.
+the :class:`ConsistencyLevel` configurations (or any registered
+:class:`ConsistencyPolicy`), then drive it with sessions or closed-loop
+clients.
 """
 
 from .cluster import ClusterConfig, ReplicatedDatabase
 from .consistency import ConsistencyLevel
+from .policy import (
+    BoundedStalenessPolicy,
+    ConsistencyPolicy,
+    available_policies,
+    register_policy,
+    resolve_policy,
+)
 from .session import SyncSession
 from .versions import VersionTracker
 
 __all__ = [
+    "BoundedStalenessPolicy",
     "ClusterConfig",
     "ConsistencyLevel",
+    "ConsistencyPolicy",
     "ReplicatedDatabase",
     "SyncSession",
     "VersionTracker",
+    "available_policies",
+    "register_policy",
+    "resolve_policy",
 ]

@@ -38,6 +38,7 @@ from ..storage.engine import StorageEngine
 from ..workloads.base import Workload
 from ..workloads.clients import ClientPool
 from .consistency import ConsistencyLevel
+from .policy import ConsistencyPolicy, resolve_policy
 from .session import SyncSession
 
 __all__ = ["ClusterConfig", "ReplicatedDatabase"]
@@ -48,7 +49,9 @@ class ClusterConfig:
     """Configuration of one replicated-database deployment."""
 
     num_replicas: int = 3
-    level: ConsistencyLevel = ConsistencyLevel.SC_COARSE
+    #: a ConsistencyLevel member, a registered policy spec ("sc-fine",
+    #: "bounded:3"), or a ready ConsistencyPolicy instance
+    level: "ConsistencyLevel | str | ConsistencyPolicy" = ConsistencyLevel.SC_COARSE
     seed: int = 0
     #: override the workload's performance model
     params: Optional[PerformanceParams] = None
@@ -87,6 +90,8 @@ class ReplicatedDatabase:
             raise TypeError("pass either a ClusterConfig or keyword overrides, not both")
         self.config = config
         self.workload = workload
+        #: the consistency scheme, resolved once and shared by every layer
+        self.policy = resolve_policy(config.level, freshness_bound=config.freshness_bound)
         self.env = Environment()
         self.rngs = RngRegistry(config.seed)
         self.network = Network(self.env, self.rngs.stream("network"), config.latency)
@@ -117,7 +122,7 @@ class ReplicatedDatabase:
                 name=name,
                 engine=engine,
                 perf=perf,
-                level=config.level,
+                level=self.policy,
                 templates=self.templates,
                 precheck_committed=config.precheck_committed,
                 early_certification=config.early_certification,
@@ -130,14 +135,14 @@ class ReplicatedDatabase:
             network=self.network,
             perf=CertifierPerformance(self.params, self.rngs.stream("perf:certifier")),
             replica_names=list(self.replica_names),
-            level=config.level,
+            level=self.policy,
             log=DecisionLog(config.log_path),
         )
         self.load_balancer = LoadBalancer(
             env=self.env,
             network=self.network,
             replica_names=list(self.replica_names),
-            level=config.level,
+            level=self.policy,
             templates=self.templates,
             history=self.history,
             routing=config.routing,
@@ -149,9 +154,10 @@ class ReplicatedDatabase:
 
     # -- level ---------------------------------------------------------------
     @property
-    def level(self) -> ConsistencyLevel:
-        """The configured consistency level."""
-        return self.config.level
+    def level(self) -> Optional[ConsistencyLevel]:
+        """The legacy enum member behind the configured policy (None for
+        policies without one, e.g. ``bounded:k``)."""
+        return self.policy.level
 
     # -- interactive use ------------------------------------------------------
     def open_session(self, session_id: Optional[str] = None) -> SyncSession:
@@ -213,7 +219,7 @@ class ReplicatedDatabase:
         """
         return {
             "time_ms": self.env.now,
-            "level": self.config.level.label,
+            "level": self.policy.label,
             "commit_version": self.certifier.commit_version,
             "replication_horizon": self.certifier.replication_horizon(),
             "certified": self.certifier.certified_count,

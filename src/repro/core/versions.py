@@ -10,9 +10,11 @@ The load balancer maintains three pieces of soft state (Section IV):
 * per-session versions — the version the session's last transaction
   committed at / observed (drives SESSION).
 
-:meth:`VersionTracker.start_version` computes the *minimum database version a
-replica must reach before starting a transaction* under each consistency
-level — the single number the whole technique turns on.
+The *minimum database version a replica must reach before starting a
+transaction* — the single number the whole technique turns on — is computed
+by the configured :class:`~repro.core.policy.ConsistencyPolicy` from this
+tracker's state; :meth:`VersionTracker.start_version` remains as a
+level-keyed convenience wrapper.
 """
 
 from __future__ import annotations
@@ -91,6 +93,9 @@ class VersionTracker:
         """Minimum ``V_local`` the receiving replica must reach before the
         transaction may start.
 
+        Delegates to the :class:`~repro.core.policy.ConsistencyPolicy`
+        registered for ``level``:
+
         * EAGER and BASELINE never delay transaction start (version 0);
         * SC-COARSE requires the full ``V_system``;
         * SC-FINE requires ``max(V_t for t in table_set)`` — the highest
@@ -102,23 +107,10 @@ class VersionTracker:
         * RELAXED requires ``V_system - freshness_bound`` (clamped at 0) —
           the relaxed-currency model's "at most k versions stale".
         """
-        if level is ConsistencyLevel.RELAXED:
-            bound = freshness_bound if freshness_bound is not None else 0
-            return max(0, self._v_system - max(0, bound))
-        if level is ConsistencyLevel.SC_COARSE:
-            return self._v_system
-        if level is ConsistencyLevel.SC_FINE:
-            if table_set is None:
-                return self._v_system
-            tables = list(table_set)
-            if not tables:
-                return 0
-            return max(self._table_versions.get(t, 0) for t in tables)
-        if level is ConsistencyLevel.SESSION:
-            if session_id is None:
-                return 0
-            return self._session_versions.get(session_id, 0)
-        return 0
+        from .policy import resolve_policy  # deferred: policy imports us
+
+        policy = resolve_policy(level, freshness_bound=freshness_bound)
+        return policy.start_version(self, table_set=table_set, session_id=session_id)
 
     def forget_session(self, session_id: str) -> None:
         """Drop a finished session's entry (soft state)."""

@@ -103,7 +103,7 @@ class FaultInjector:
                 self.cluster.rngs.stream(f"perf:{new_name}"),
             ),
             replica_names=list(old.replica_names),
-            level=old.level,
+            level=old.policy,
             name=new_name,
             log=standby_log,
         )

@@ -9,17 +9,17 @@ A transaction T can commit iff its writeset does not write-conflict with the
 writesets of transactions that committed since T started (generalized
 snapshot isolation's first-committer-wins rule, applied globally).
 
-Under the EAGER configuration the certifier also maintains a per-commit
-counter of replicas that have applied the commit, and notifies the
-originating replica once the counter reaches the replica count (the *global
-commit*).
+When the configured :class:`~repro.core.policy.ConsistencyPolicy` tracks
+global commits (EAGER), the certifier also maintains a per-commit counter of
+replicas that have applied the commit, and notifies the originating replica
+once the counter reaches the replica count (the *global commit*).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..core.consistency import ConsistencyLevel
+from ..core.policy import resolve_policy
 from ..sim.kernel import Environment
 from ..sim.network import Mailbox, Network
 from ..sim.resources import Resource
@@ -46,7 +46,7 @@ class Certifier:
         network: Network,
         perf: CertifierPerformance,
         replica_names: list[str],
-        level: ConsistencyLevel,
+        level,
         name: str = "certifier",
         log: Optional[DecisionLog] = None,
     ):
@@ -54,7 +54,9 @@ class Certifier:
         self.network = network
         self.perf = perf
         self.replica_names = list(replica_names)
-        self.level = level
+        self.policy = resolve_policy(level)
+        #: legacy introspection: the enum member behind the policy, if any
+        self.level = self.policy.level
         self.name = name
         self.log = log if log is not None else DecisionLog()
         self.mailbox: Mailbox = network.register(name)
@@ -65,8 +67,9 @@ class Certifier:
         # return): bounds log truncation so their recovery replay stays
         # possible.
         self._departed_versions: dict[str, int] = {}
-        # EAGER bookkeeping: version -> set of replicas that applied it,
-        # and version -> (origin, request_id) awaiting global commit.
+        # Global-commit bookkeeping (policies with tracks_global_commit):
+        # version -> set of replicas that applied it, and version ->
+        # (origin, request_id) awaiting global commit.
         self._applied_by: dict[int, set[str]] = {}
         self._awaiting_global: dict[int, tuple[str, int]] = {}
         # Counters for tests/metrics.
@@ -149,7 +152,7 @@ class Certifier:
             LogEntry(version, request.txn_id, request.origin, request.writeset)
         )
         self.certified_count += 1
-        if self.level is ConsistencyLevel.EAGER:
+        if self.policy.tracks_global_commit:
             self._applied_by[version] = set()
             self._awaiting_global[version] = (request.origin, request.request_id)
 
@@ -203,7 +206,7 @@ class Certifier:
             current = self.applied_versions[message.replica]
             if message.commit_version > current:
                 self.applied_versions[message.replica] = message.commit_version
-        if self.level is not ConsistencyLevel.EAGER:
+        if not self.policy.tracks_global_commit:
             return
         applied = self._applied_by.get(message.commit_version)
         if applied is None:
@@ -238,7 +241,7 @@ class Certifier:
         departed_at = self.applied_versions.pop(replica, None)
         if departed_at is not None:
             self._departed_versions[replica] = departed_at
-        if self.level is ConsistencyLevel.EAGER:
+        if self.policy.tracks_global_commit:
             for version in list(self._awaiting_global):
                 applied = self._applied_by.get(version, set())
                 applied.discard(replica)

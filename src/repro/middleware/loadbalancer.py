@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.consistency import ConsistencyLevel
+from ..core.policy import resolve_policy
 from ..core.versions import VersionTracker
 from ..histories.records import RunHistory, TxnRecord
 from ..sim.kernel import Environment
@@ -38,7 +38,7 @@ class LoadBalancer:
         env: Environment,
         network: Network,
         replica_names: list[str],
-        level: ConsistencyLevel,
+        level,
         templates: dict,
         name: str = "lb",
         history: Optional[RunHistory] = None,
@@ -56,7 +56,9 @@ class LoadBalancer:
         self.env = env
         self.network = network
         self.name = name
-        self.level = level
+        self.policy = resolve_policy(level, freshness_bound=freshness_bound)
+        #: legacy introspection: the enum member behind the policy, if any
+        self.level = self.policy.level
         self.templates = templates
         self.tracker = VersionTracker()
         self.history = history
@@ -132,19 +134,17 @@ class LoadBalancer:
     def _start_version(self, request: ClientRequest) -> int:
         """The consistency tag: the minimum version the replica must reach.
 
-        SC-FINE looks up the transaction's table-set in the catalog using
-        the request's transaction identifier (template name), exactly as the
-        paper's balancer queries its table-set dictionary.
+        The policy decides; the balancer supplies its soft state — the
+        version tracker, plus the transaction's table-set looked up in the
+        catalog by the request's transaction identifier (template name),
+        exactly as the paper's balancer queries its table-set dictionary.
         """
-        table_set = None
-        if self.level is ConsistencyLevel.SC_FINE:
-            template = self.templates.get(request.template)
-            table_set = template.table_set if template is not None else None
-        return self.tracker.start_version(
-            self.level,
+        template = self.templates.get(request.template)
+        table_set = template.table_set if template is not None else None
+        return self.policy.start_version(
+            self.tracker,
             table_set=table_set,
             session_id=request.session_id,
-            freshness_bound=self.freshness_bound,
         )
 
     # -- response path ---------------------------------------------------------
@@ -156,13 +156,7 @@ class LoadBalancer:
         if self._active_count.get(replica, 0) > 0:
             self._active_count[replica] -= 1
 
-        if response.committed:
-            self.tracker.observe_commit(
-                commit_version=response.commit_version,
-                updated_tables=response.updated_tables,
-                session_id=response.session_id,
-                replica_version=response.replica_version,
-            )
+        self.policy.observe_response(self.tracker, response)
         self.relayed_count += 1
         self.network.send(
             self.name,

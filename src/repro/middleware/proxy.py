@@ -3,43 +3,35 @@
 Each replica hosts a standalone snapshot-isolation DBMS (our storage engine)
 fronted by a proxy.  The proxy:
 
-* intercepts client transactions routed by the load balancer, delays their
-  start until the local version reaches the request's ``start_version`` tag
-  (the **version** stage — this single wait is how both lazy techniques
-  enforce strong consistency);
-* executes the transaction's statements against the local engine, charging
-  their service times to the replica CPU (the **queries** stage);
-* commits read-only transactions locally and immediately;
-* sends update writesets to the certifier (the **certify** stage), then
-  commits at the assigned global version, first waiting for all earlier
-  versions to be applied locally (the **sync** stage, then **commit**);
+* intercepts client transactions routed by the load balancer and drives
+  each through the explicit :class:`~repro.middleware.lifecycle.TxnLifecycle`
+  stage pipeline (version → queries → certify → sync → commit → global);
 * applies **refresh writesets** from remote transactions strictly in the
   certifier's total order, interleaved with local commits;
 * performs **early certification** to prevent the hidden-deadlock problem:
   client update statements are checked against pending refresh writesets,
   and arriving refresh writesets abort conflicting active local
   transactions;
-* under EAGER, additionally waits for the certifier's global-commit notice
-  before acknowledging the client (the **global** stage).
+* defers every protocol decision that depends on the consistency scheme —
+  whether commit acknowledgments pay a synchronous log flush, whether the
+  client waits for the global commit — to the configured
+  :class:`~repro.core.policy.ConsistencyPolicy`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..core.consistency import ConsistencyLevel
-from ..metrics.stages import StageTimings
+from ..core.policy import resolve_policy
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from ..sim.resources import Resource
 from ..storage.engine import StorageEngine
-from ..storage.errors import StorageError, TransactionAborted
 from ..storage.transaction import Transaction
 from .clock import VersionClock
-from .context import TxnContext
+from .lifecycle import CertifierUnavailable, ReplicaCrashed, TxnLifecycle
 from .messages import (
     CertifyReply,
-    CertifyRequest,
     CommitApplied,
     GlobalCommitNotice,
     RecoveryReply,
@@ -50,17 +42,7 @@ from .messages import (
 )
 from .perfmodel import ReplicaPerformance
 
-__all__ = ["ReplicaProxy"]
-
-
-class ReplicaCrashed(Exception):
-    """Internal signal: the replica crashed while a transaction was in
-    flight; the transaction process exits without responding."""
-
-
-class CertifierUnavailable(Exception):
-    """The certifier failed over while a certification (or an EAGER global
-    commit) was in flight."""
+__all__ = ["ReplicaProxy", "ReplicaCrashed", "CertifierUnavailable"]
 
 
 class ReplicaProxy:
@@ -73,7 +55,7 @@ class ReplicaProxy:
         name: str,
         engine: StorageEngine,
         perf: ReplicaPerformance,
-        level: ConsistencyLevel,
+        level,
         templates: dict,
         certifier_name: str = "certifier",
         balancer_name: str = "lb",
@@ -87,7 +69,9 @@ class ReplicaProxy:
         self.name = name
         self.engine = engine
         self.perf = perf
-        self.level = level
+        self.policy = resolve_policy(level)
+        #: legacy introspection: the enum member behind the policy, if any
+        self.level = self.policy.level
         self.templates = templates
         self.certifier_name = certifier_name
         self.balancer_name = balancer_name
@@ -101,8 +85,9 @@ class ReplicaProxy:
 
         self.mailbox: Mailbox = network.register(name)
         self.cpu = Resource(env, capacity=perf.params.cores)
-        # The replica's log-flush device: EAGER commit acknowledgments
-        # serialize here (the lazy configurations never touch it).
+        # The replica's log-flush device: policies with a synchronous commit
+        # acknowledgment (EAGER) serialize here; the lazy configurations
+        # never touch it.
         self.flush_device = Resource(env, capacity=1)
         self.clock = VersionClock(env, initial=engine.version)
         self.crashed = False
@@ -192,6 +177,12 @@ class ReplicaProxy:
         self._wake_applier()
 
     def _receive_recovery(self, message: RecoveryReply) -> None:
+        # A second recovery can replay writesets the engine already applied;
+        # drop anything at or below the current version first so a stale
+        # entry cannot linger in the pending map (it would never match
+        # ``engine.version + 1`` and would pin memory forever).
+        for version in [v for v in self._pending_refresh if v <= self.engine.version]:
+            del self._pending_refresh[version]
         for version, writeset in message.entries:
             if version > self.engine.version and version not in self._pending_refresh:
                 self._pending_refresh[version] = writeset
@@ -281,201 +272,27 @@ class ReplicaProxy:
 
     # -- transaction execution ---------------------------------------------------
     def _execute(self, routed: RoutedRequest):
-        request = routed.request
-        stages = StageTimings()
-        arrived = self.env.now
-        self.executed_count += 1
-
-        # --- version stage: the synchronization start delay -------------
-        if routed.start_version > self.clock.version:
-            yield self.clock.wait_for(routed.start_version)
-            if self.crashed:
-                return
-        stages.version = self.env.now - arrived
-
-        # --- begin on the latest local snapshot (GSI) --------------------
-        txn = self.engine.begin()
-        self._executing[txn.txn_id] = txn
-        ctx = TxnContext(self, txn)
-        template = self.templates[request.template]
-        result: Any = None
-        try:
-            result = template.body(ctx, dict(request.params))
-        except TransactionAborted as exc:
-            self._finish_abort(txn, str(exc))
-            self.early_abort_count += 1
-            self._respond(request, stages, committed=False, abort_reason=str(exc),
-                          snapshot_version=txn.snapshot_version)
-            return
-        except StorageError as exc:
-            self._finish_abort(txn, str(exc))
-            self._respond(request, stages, committed=False, abort_reason=str(exc),
-                          snapshot_version=txn.snapshot_version)
-            return
-        except Exception as exc:  # template bug: abort and report, don't hang
-            reason = f"template {request.template!r} raised {type(exc).__name__}: {exc}"
-            self._finish_abort(txn, reason)
-            self._respond(request, stages, committed=False, abort_reason=reason,
-                          snapshot_version=txn.snapshot_version)
-            return
-
-        # --- queries stage: charge statement service times ----------------
-        query_start = self.env.now
-        for cost in ctx.statement_costs:
-            yield from self.cpu.use(cost)
-            if self.crashed or not txn.is_active:
-                self._finish_abort(txn, "replica crashed")
-                return
-            doom = self._doomed.get(txn.txn_id)
-            if doom is not None:
-                stages.queries = self.env.now - query_start
-                self._finish_abort(txn, doom)
-                self.early_abort_count += 1
-                self._respond(request, stages, committed=False, abort_reason=doom,
-                              snapshot_version=txn.snapshot_version)
-                return
-        stages.queries = self.env.now - query_start
-        self._executing.pop(txn.txn_id, None)
-
-        # --- read-only: commit locally and notify immediately -------------
-        if txn.is_read_only:
-            commit_start = self.env.now
-            yield from self.cpu.use(self.perf.commit(0))
-            if self.crashed or not txn.is_active:
-                self._finish_abort(txn, "replica crashed")
-                return
-            self.engine.commit_read_only(txn)
-            self.committed_count += 1
-            stages.commit = self.env.now - commit_start
-            self._respond(request, stages, committed=True, commit_version=None,
-                          snapshot_version=txn.snapshot_version, result=result)
-            return
-
-        # Final local doom check before involving the certifier.
-        doom = self._doomed.pop(txn.txn_id, None)
-        if doom is not None:
-            self._finish_abort(txn, doom)
-            self.early_abort_count += 1
-            self._respond(request, stages, committed=False, abort_reason=doom,
-                          snapshot_version=txn.snapshot_version)
-            return
-
-        # --- certify stage -----------------------------------------------
-        certify_start = self.env.now
-        writeset = txn.writeset
-        waiter = Event(self.env)
-        self._certify_waiters[request.request_id] = waiter
-        readset = frozenset(txn.read_keys) if self.certify_reads else None
-        self.network.send(
-            self.name,
-            self.certifier_name,
-            CertifyRequest(
-                txn_id=txn.txn_id,
-                origin=self.name,
-                snapshot_version=txn.snapshot_version,
-                writeset=writeset,
-                request_id=request.request_id,
-                readset=readset,
-            ),
-        )
-        try:
-            reply: CertifyReply = yield waiter
-        except CertifierUnavailable as exc:
-            reason = str(exc)
-            self._finish_abort(txn, reason)
-            self._respond(request, stages, committed=False, abort_reason=reason,
-                          snapshot_version=txn.snapshot_version)
-            return
-        if self.crashed or not txn.is_active:
-            self._finish_abort(txn, "replica crashed")
-            return
-        stages.certify = self.env.now - certify_start
-
-        if not reply.certified:
-            reason = (
-                f"certification conflict with committed v{reply.conflict_with}"
-            )
-            self._finish_abort(txn, reason)
-            self._respond(request, stages, committed=False, abort_reason=reason,
-                          snapshot_version=txn.snapshot_version)
-            return
-
-        # --- sync stage: wait for all earlier versions locally ------------
-        commit_version = reply.commit_version
-        sync_start = self.env.now
-        self._reserved.add(commit_version)
-        self._wake_applier()
-        yield self.clock.wait_for(commit_version - 1)
-        if self.crashed:
-            # The decision is durable at the certifier; the local commit is
-            # lost until recovery replay.  No response (client sees failure).
-            self._reserved.discard(commit_version)
-            self._finish_abort(txn, "replica crashed")
-            return
-        stages.sync = self.env.now - sync_start
-
-        # --- commit stage ---------------------------------------------------
-        commit_start = self.env.now
-        yield from self.cpu.use(self.perf.commit(len(writeset)))
-        if self.crashed:
-            self._reserved.discard(commit_version)
-            self._finish_abort(txn, "replica crashed")
-            return
-        self.engine.commit_certified(txn, commit_version)
-        self._reserved.discard(commit_version)
-        self.committed_count += 1
-        self.clock.advance_to(commit_version)
-        self._wake_applier()
-        self._send_commit_applied(commit_version, len(writeset))
-        stages.commit = self.env.now - commit_start
-
-        # --- global stage (EAGER only) ----------------------------------
-        if self.level is ConsistencyLevel.EAGER:
-            global_start = self.env.now
-            notice = Event(self.env)
-            self._global_waiters[request.request_id] = notice
-            try:
-                yield notice
-            except CertifierUnavailable:
-                # The decision is durable and the transaction is committed;
-                # only the global acknowledgment round was lost to the
-                # failover.  Acknowledge the client — the in-flight window's
-                # eager guarantee degrades exactly as in a real failover.
-                pass
-            if self.crashed:
-                return
-            stages.global_ = self.env.now - global_start
-
-        self._respond(
-            request,
-            stages,
-            committed=True,
-            commit_version=commit_version,
-            updated_tables=writeset.tables,
-            snapshot_version=txn.snapshot_version,
-            result=result,
-        )
+        yield from TxnLifecycle(self, routed).run()
 
     # -- helpers -----------------------------------------------------------
     def _send_commit_applied(self, commit_version: int, writeset_size: int) -> None:
         """Report this replica's commit of ``commit_version`` to the
         certifier.
 
-        Lazy configurations report immediately — the replicas run with
-        log-forcing off and the report is pure progress tracking.  Under
-        EAGER the report *is* part of the synchronous commit round, so it
-        first serializes through the replica's log-flush device; the
-        certifier's global-commit counter (and hence the client
-        acknowledgment) waits for it.
+        Lazy policies report immediately — the replicas run with
+        log-forcing off and the report is pure progress tracking.  A policy
+        with a synchronous commit acknowledgment (EAGER) makes the report
+        part of the commit round: it first serializes through the replica's
+        log-flush device, and the certifier's global-commit counter (and
+        hence the client acknowledgment) waits for it.
         """
-        if self.level is ConsistencyLevel.EAGER:
-            flush = self.perf.eager_commit_flush(writeset_size)
-            if flush > 0:
-                self.env.process(
-                    self._flush_and_ack(commit_version, flush),
-                    name=f"{self.name}-flush-v{commit_version}",
-                )
-                return
+        flush = self.policy.commit_ack_flush(self.perf, writeset_size)
+        if flush > 0:
+            self.env.process(
+                self._flush_and_ack(commit_version, flush),
+                name=f"{self.name}-flush-v{commit_version}",
+            )
+            return
         self.network.send(
             self.name, self.certifier_name, CommitApplied(self.name, commit_version)
         )
@@ -497,7 +314,7 @@ class ReplicaProxy:
     def _respond(
         self,
         request,
-        stages: StageTimings,
+        stages,
         committed: bool,
         commit_version: Optional[int] = None,
         abort_reason: Optional[str] = None,

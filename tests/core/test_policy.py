@@ -1,0 +1,177 @@
+"""Tests for the pluggable consistency-policy layer: the registry,
+spec resolution, per-policy decisions, and the BOUNDED(k) extension."""
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.policy import (
+    BaselinePolicy,
+    BoundedStalenessPolicy,
+    ConsistencyPolicy,
+    EagerPolicy,
+    RelaxedPolicy,
+    ScCoarsePolicy,
+    available_policies,
+    register_policy,
+    resolve_policy,
+)
+from repro.core.policy import _REGISTRY
+from repro.core.versions import VersionTracker
+
+
+def tracker_at(v_system, tables=(), session=None):
+    """A tracker advanced to ``v_system`` with optional table/session state."""
+    tracker = VersionTracker()
+    for version in range(1, v_system + 1):
+        tracker.observe_commit(version, updated_tables=tables, session_id=session)
+    return tracker
+
+
+class TestResolution:
+    def test_every_enum_member_resolves_to_its_policy(self):
+        for level in ConsistencyLevel:
+            policy = resolve_policy(level)
+            assert policy.level is level
+            assert policy.name == level.value
+
+    def test_string_spec_resolves(self):
+        assert isinstance(resolve_policy("sc-coarse"), ScCoarsePolicy)
+        assert isinstance(resolve_policy("eager"), EagerPolicy)
+
+    def test_policy_instance_passes_through(self):
+        policy = BoundedStalenessPolicy(3)
+        assert resolve_policy(policy) is policy
+
+    def test_parameterized_spec(self):
+        policy = resolve_policy("bounded:3")
+        assert isinstance(policy, BoundedStalenessPolicy)
+        assert policy.staleness_bound == 3
+        assert policy.spec == "bounded:3"
+
+    def test_relaxed_arg_overrides_configured_freshness_bound(self):
+        assert resolve_policy("relaxed:7", freshness_bound=2).freshness_bound == 7
+        assert resolve_policy("relaxed", freshness_bound=2).freshness_bound == 2
+        assert resolve_policy(ConsistencyLevel.RELAXED).freshness_bound == 0
+
+    def test_unknown_name_lists_registered_policies(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_policy("bogus")
+        message = str(excinfo.value)
+        assert "bogus" in message
+        for name in available_policies():
+            assert name in message
+
+    def test_non_integer_parameter_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            resolve_policy("bounded:soon")
+
+    def test_unresolvable_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_policy(42)
+
+
+class TestRegistry:
+    def test_available_policies_sorted_and_complete(self):
+        names = available_policies()
+        assert names == tuple(sorted(names))
+        for level in ConsistencyLevel:
+            assert level.value in names
+        assert "bounded" in names
+
+    def test_register_custom_policy(self):
+        class PinnedPolicy(ConsistencyPolicy):
+            name = "pinned"
+            label = "PINNED"
+
+            def start_version(self, tracker, table_set=None, session_id=None):
+                return 42
+
+        register_policy("pinned", lambda arg, freshness_bound: PinnedPolicy())
+        try:
+            assert "pinned" in available_policies()
+            policy = resolve_policy("pinned")
+            assert policy.start_version(VersionTracker()) == 42
+        finally:
+            _REGISTRY.pop("pinned")
+
+
+class TestStartVersions:
+    def test_sc_coarse_requires_full_v_system(self):
+        tracker = tracker_at(5)
+        assert ScCoarsePolicy().start_version(tracker) == 5
+
+    def test_sc_fine_uses_table_set_and_degrades_safely(self):
+        tracker = VersionTracker()
+        tracker.observe_commit(1, updated_tables={"a"})
+        tracker.observe_commit(2, updated_tables={"b"})
+        policy = resolve_policy("sc-fine")
+        assert policy.start_version(tracker, table_set={"a"}) == 1
+        assert policy.start_version(tracker, table_set={"a", "b"}) == 2
+        assert policy.start_version(tracker, table_set=set()) == 0
+        assert policy.start_version(tracker, table_set=None) == 2  # coarse fallback
+
+    def test_session_tracks_per_session_version(self):
+        tracker = VersionTracker()
+        tracker.observe_commit(3, session_id="alice")
+        policy = resolve_policy("session")
+        assert policy.start_version(tracker, session_id="alice") == 3
+        assert policy.start_version(tracker, session_id="bob") == 0
+        assert policy.start_version(tracker, session_id=None) == 0
+
+    def test_eager_and_baseline_never_delay_start(self):
+        tracker = tracker_at(9)
+        assert EagerPolicy().start_version(tracker) == 0
+        assert BaselinePolicy().start_version(tracker) == 0
+
+    def test_relaxed_clamps_at_zero(self):
+        tracker = tracker_at(3)
+        assert RelaxedPolicy(2).start_version(tracker) == 1
+        assert RelaxedPolicy(10).start_version(tracker) == 0
+
+
+class TestBoundedStaleness:
+    def test_start_version_at_most_k_behind(self):
+        tracker = tracker_at(10)
+        assert BoundedStalenessPolicy(3).start_version(tracker) == 7
+        assert BoundedStalenessPolicy(20).start_version(tracker) == 0
+
+    def test_k_zero_matches_sc_coarse(self):
+        tracker = tracker_at(6)
+        assert (
+            BoundedStalenessPolicy(0).start_version(tracker)
+            == ScCoarsePolicy().start_version(tracker)
+        )
+
+    def test_classification(self):
+        assert BoundedStalenessPolicy(0).is_strong
+        assert not BoundedStalenessPolicy(1).is_strong
+        assert BoundedStalenessPolicy(2).label == "BOUNDED(2)"
+        assert BoundedStalenessPolicy(2).level is None
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedStalenessPolicy(-1)
+
+
+class TestProtocolDecisions:
+    def test_only_eager_waits_for_global_commit(self):
+        for name in available_policies():
+            policy = resolve_policy(name)
+            expected = isinstance(policy, EagerPolicy)
+            assert policy.waits_for_global_commit is expected
+            assert policy.tracks_global_commit is expected
+
+    def test_commit_ack_flush_free_for_lazy_policies(self):
+        class Perf:
+            def eager_commit_flush(self, size):
+                return 3.5
+
+        perf = Perf()
+        assert EagerPolicy().commit_ack_flush(perf, 2) == 3.5
+        for name in ("sc-coarse", "sc-fine", "session", "baseline", "bounded"):
+            assert resolve_policy(name).commit_ack_flush(perf, 2) == 0.0
+
+    def test_legacy_tracker_start_version_delegates(self):
+        tracker = tracker_at(4)
+        assert tracker.start_version(ConsistencyLevel.SC_COARSE) == 4
+        assert tracker.start_version(ConsistencyLevel.RELAXED, freshness_bound=1) == 3

@@ -221,3 +221,25 @@ class TestCrash:
         env.run()
         assert victim.v_local == 3
         assert victim.engine.database.table("t").read(1, 3)["v"] == 3
+
+    def test_recovery_drops_stale_pending_refresh(self, env, harness):
+        """A recovery reply must purge pending entries at or below the
+        engine's version — a stale replayed writeset can never match
+        ``engine.version + 1`` and would otherwise linger forever."""
+        from repro.middleware import RecoveryReply
+
+        seed(harness)
+        route(harness, "write-t", {"key": 1, "v": 1}, request_id=1, replica="replica-0")
+        env.run()
+        route(harness, "write-t", {"key": 1, "v": 2}, request_id=2, replica="replica-0")
+        env.run()
+        harness.responses()
+        victim = harness.proxy(1)
+        assert victim.v_local == 2
+        # A duplicate replay of already-applied versions (e.g. a second
+        # recovery racing a refresh that caught the replica up first).
+        victim._pending_refresh[1] = ws(1, 1)
+        victim._receive_recovery(
+            RecoveryReply("replica-1", ((1, ws(1, 1)), (2, ws(1, 2))))
+        )
+        assert victim.pending_refresh_count == 0

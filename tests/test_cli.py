@@ -24,6 +24,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["audit", "--level", "bogus"])
 
+    def test_audit_level_accepts_parameterized_policy(self):
+        args = build_parser().parse_args(["audit", "--level", "bounded:2"])
+        assert args.level == "bounded:2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--level", "bounded:soon"])
+
+    def test_unknown_level_error_lists_registered_policies(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--level", "bogus"])
+        err = capsys.readouterr().err
+        assert "unknown consistency policy 'bogus'" in err
+        assert "sc-coarse" in err
+        assert "bounded" in err
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -57,6 +71,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "workload=tpcw" in out
         assert "strong consistency (observational): True" in out
+
+    def test_audit_bounded_runs_end_to_end(self, capsys):
+        code = main([
+            "audit", "--level", "bounded:2", "--replicas", "2",
+            "--clients", "4", "--duration-ms", "400",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "level=BOUNDED(2)" in out
+        assert "TPS" in out
 
     def test_audit_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
