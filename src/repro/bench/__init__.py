@@ -2,8 +2,11 @@
 
 from .experiments import (
     LEVELS,
+    AvailabilityMeasurement,
+    AvailabilityResult,
     BreakdownResult,
     SeriesResult,
+    availability,
     clear_cache,
     fig3,
     fig4,
@@ -22,6 +25,9 @@ from .runner import (
 
 __all__ = [
     "LEVELS",
+    "AvailabilityMeasurement",
+    "AvailabilityResult",
+    "availability",
     "BreakdownResult",
     "ExperimentConfig",
     "ExperimentResult",

@@ -6,6 +6,8 @@ Usage::
     python -m repro fig3 [--full] [--seed N]
     python -m repro fig4 | fig5 | fig6 | fig7 [--full] [--seed N]
     python -m repro audit [--level sc-fine|bounded:3] [--replicas 4] [--clients 16]
+    python -m repro availability [--full] [--seed N]
+    python -m repro nemesis [--seed N] [--duration-ms T] [--no-kill-certifier]
     python -m repro levels
 
 ``--full`` switches from the quick windows to the paper-scale sweeps
@@ -70,6 +72,28 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--clients", type=int, default=16)
     audit.add_argument("--duration-ms", type=float, default=2_000.0)
     audit.add_argument("--seed", type=int, default=0)
+
+    avail = sub.add_parser(
+        "availability",
+        help="replica-crash availability: detection latency, throughput "
+             "dip, time-to-recover (SC-FINE vs EAGER)",
+    )
+    avail.add_argument("--full", action="store_true")
+    avail.add_argument("--seed", type=int, default=0)
+
+    nemesis = sub.add_parser(
+        "nemesis",
+        help="seeded chaos soak (crashes, partitions, certifier kill) "
+             "with the full safety audit",
+    )
+    nemesis.add_argument("--seed", type=int, default=3)
+    nemesis.add_argument("--duration-ms", type=float, default=2_500.0)
+    nemesis.add_argument("--replicas", type=int, default=3)
+    nemesis.add_argument("--clients", type=int, default=6)
+    nemesis.add_argument(
+        "--no-kill-certifier", action="store_true",
+        help="leave the certifier alone (replica crashes and partitions only)",
+    )
 
     everything = sub.add_parser(
         "all", help="regenerate Table I and every figure (quick scale)"
@@ -147,6 +171,77 @@ def _run_audit(args) -> str:
     return "\n".join(lines)
 
 
+def _run_nemesis(args) -> str:
+    from .core.cluster import ClusterConfig, ReplicatedDatabase
+    from .faults import FaultInjector, Nemesis
+    from .histories.checkers import strong_consistency_violations
+    from .sim.rng import RngRegistry
+    from .workloads import MicroBenchmark
+
+    config = ClusterConfig.self_healing(
+        num_replicas=args.replicas, seed=args.seed, level="sc-fine"
+    )
+    cluster = ReplicatedDatabase(
+        MicroBenchmark(update_types=20, rows_per_table=100), config
+    )
+    cluster.add_clients(args.clients, retry_aborts=True)
+    injector = FaultInjector(cluster)
+    nemesis = Nemesis(
+        cluster,
+        RngRegistry(args.seed).stream("nemesis"),
+        duration_ms=args.duration_ms,
+        injector=injector,
+        kill_certifier=not args.no_kill_certifier,
+    )
+    cluster.run(args.duration_ms + 700.0)
+    cluster.quiesce(max_wait_ms=60_000.0)
+
+    certifier = cluster.certifier
+    balancer = cluster.load_balancer
+    lines = [
+        f"nemesis seed={args.seed} duration={args.duration_ms:.0f}ms "
+        f"replicas={args.replicas} clients={args.clients}",
+        "",
+        "fault schedule:",
+    ]
+    lines += [f"  {t:8.1f}  {action:15s} {detail}"
+              for t, action, detail in nemesis.actions]
+
+    violations = strong_consistency_violations(balancer.history)
+    committed = [
+        r for r in balancer.history.records
+        if r.committed and r.commit_version is not None
+    ]
+    lost = [
+        r.request_id for r in committed
+        if not any(
+            certifier.decision_for(a) == r.commit_version
+            for a in balancer.retry_lineage.get(r.request_id, [r.request_id])
+        )
+    ]
+    doubled = [
+        rid for rid in balancer.fenced_request_ids
+        if certifier.decision_for(rid) is not None
+    ]
+    converged = all(
+        p.v_local == certifier.commit_version for p in cluster.replicas.values()
+    )
+    lines += [
+        "",
+        f"certifier: {certifier.name} (epoch {certifier.epoch}), "
+        f"V_commit={certifier.commit_version}",
+        f"acknowledged commits: {len(committed)}",
+        f"strong-consistency violations: {len(violations)}",
+        f"acknowledged-but-lost commits: {len(lost)}",
+        f"fenced-but-committed requests: {len(doubled)}",
+        f"replicas converged: {converged}",
+        "",
+        "audit: " + ("PASS" if not violations and not lost and not doubled
+                     and converged else "FAIL"),
+    ]
+    return "\n".join(lines)
+
+
 def _run_levels() -> str:
     lines = ["Consistency configurations:"]
     for name in available_policies():
@@ -179,6 +274,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print()
     elif args.command == "audit":
         print(_run_audit(args))
+    elif args.command == "availability":
+        print(experiments.availability(quick=not args.full, seed=args.seed).render())
+    elif args.command == "nemesis":
+        print(_run_nemesis(args))
     elif args.command == "levels":
         print(_run_levels())
     return 0

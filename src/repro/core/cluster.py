@@ -22,6 +22,7 @@ from ..histories.records import RunHistory
 from ..metrics.collector import MetricsCollector
 from ..middleware.certifier import Certifier
 from ..middleware.durability import DecisionLog
+from ..middleware.heartbeat import HeartbeatSettings
 from ..middleware.loadbalancer import LoadBalancer
 from ..middleware.perfmodel import (
     CertifierPerformance,
@@ -35,6 +36,7 @@ from ..sim.network import LatencyModel, Network
 from ..sim.rng import RngRegistry
 from ..storage.database import Database
 from ..storage.engine import StorageEngine
+from ..middleware.standby import CertifierStandby
 from ..workloads.base import Workload
 from ..workloads.clients import ClientPool
 from .consistency import ConsistencyLevel
@@ -74,10 +76,54 @@ class ClusterConfig:
     routing: str = "least-active"
     #: periodic MVCC garbage collection at each replica (None = off)
     vacuum_interval_ms: Optional[float] = None
+    # -- self-healing (all off by default; see docs/PROTOCOL.md) -----------
+    #: heartbeat period for failure detection (None = no heartbeats: faults
+    #: are only visible through explicit injector calls, as before)
+    heartbeat_interval_ms: Optional[float] = None
+    #: consecutive missed heartbeats before a component is suspected
+    suspicion_threshold: int = 3
+    #: per-request deadline at the load balancer (None = wait forever);
+    #: timed-out reads are re-routed, timed-out updates fate-resolved
+    request_deadline_ms: Optional[float] = None
+    #: bound on a proxy's certify/global wait (None = wait forever)
+    certify_timeout_ms: Optional[float] = None
+    #: run a warm standby certifier with semi-synchronous log shipping and
+    #: majority-vote automatic promotion
+    standby_certifier: bool = False
+    #: dispatch attempts per request before the client sees a failure
+    max_attempts: int = 3
 
     def __post_init__(self):
         if self.num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
+        if self.heartbeat_interval_ms is not None and self.heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat_interval_ms must be positive")
+        if self.request_deadline_ms is not None and self.request_deadline_ms <= 0:
+            raise ValueError("request_deadline_ms must be positive")
+        if self.certify_timeout_ms is not None and self.certify_timeout_ms <= 0:
+            raise ValueError("certify_timeout_ms must be positive")
+
+    @classmethod
+    def self_healing(cls, **overrides) -> "ClusterConfig":
+        """A configuration with the whole self-healing stack enabled:
+        heartbeats, request deadlines, certify timeouts and a warm standby.
+        Any field can still be overridden by keyword."""
+        settings = dict(
+            heartbeat_interval_ms=20.0,
+            suspicion_threshold=3,
+            request_deadline_ms=250.0,
+            certify_timeout_ms=150.0,
+            standby_certifier=True,
+        )
+        settings.update(overrides)
+        return cls(**settings)
+
+    @property
+    def heartbeat_settings(self) -> Optional[HeartbeatSettings]:
+        """The resolved heartbeat settings (None when detection is off)."""
+        if self.heartbeat_interval_ms is None:
+            return None
+        return HeartbeatSettings(self.heartbeat_interval_ms, self.suspicion_threshold)
 
 
 class ReplicatedDatabase:
@@ -105,6 +151,8 @@ class ReplicatedDatabase:
             self.params, self.rngs.stream("speed"), config.num_replicas
         )
         schemas = list(workload.schemas())
+        heartbeat = config.heartbeat_settings
+        standby_name = "certifier-standby" if config.standby_certifier else None
         for name, speed in zip(self.replica_names, speed_factors):
             database = Database(name=f"{name}-db")
             for schema in schemas:
@@ -128,6 +176,9 @@ class ReplicatedDatabase:
                 early_certification=config.early_certification,
                 certify_reads=config.certify_reads,
                 vacuum_interval_ms=config.vacuum_interval_ms,
+                heartbeat=heartbeat,
+                standby_name=standby_name,
+                certify_timeout_ms=config.certify_timeout_ms,
             )
 
         self.certifier = Certifier(
@@ -137,6 +188,8 @@ class ReplicatedDatabase:
             replica_names=list(self.replica_names),
             level=self.policy,
             log=DecisionLog(config.log_path),
+            heartbeat=heartbeat,
+            standby_name=standby_name,
         )
         self.load_balancer = LoadBalancer(
             env=self.env,
@@ -148,9 +201,31 @@ class ReplicatedDatabase:
             routing=config.routing,
             rng=self.rngs.stream("lb-routing"),
             freshness_bound=config.freshness_bound,
+            heartbeat=heartbeat,
+            request_deadline_ms=config.request_deadline_ms,
+            max_attempts=config.max_attempts,
         )
+        self.standby: Optional[CertifierStandby] = None
+        if config.standby_certifier:
+            self.standby = CertifierStandby(
+                env=self.env,
+                network=self.network,
+                perf=CertifierPerformance(
+                    self.params, self.rngs.stream("perf:certifier-standby")
+                ),
+                replica_names=list(self.replica_names),
+                level=self.policy,
+                name=standby_name,
+                heartbeat=heartbeat,
+                promote_hook=self._adopt_certifier,
+            )
         self._session_counter = 0
         self.client_pool: Optional[ClientPool] = None
+
+    def _adopt_certifier(self, certifier: Certifier) -> None:
+        """Promotion hook: the promoted standby becomes ``self.certifier`` so
+        stats, audits and the injector keep seeing the live one."""
+        self.certifier = certifier
 
     # -- level ---------------------------------------------------------------
     @property
@@ -224,9 +299,16 @@ class ReplicatedDatabase:
             "replication_horizon": self.certifier.replication_horizon(),
             "certified": self.certifier.certified_count,
             "certification_aborts": self.certifier.abort_count,
+            "certifier_name": self.certifier.name,
+            "certifier_epoch": self.certifier.epoch,
             "balancer": {
                 "v_system": self.load_balancer.v_system,
                 "outstanding": self.load_balancer.outstanding_count,
+                "timed_out": self.load_balancer.timed_out_count,
+                "rerouted_reads": self.load_balancer.rerouted_reads,
+                "retried_updates": self.load_balancer.retried_updates,
+                "fate_commits": self.load_balancer.fate_commits,
+                "fate_aborts": self.load_balancer.fate_aborts,
             },
             "replicas": {
                 name: {

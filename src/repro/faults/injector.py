@@ -5,69 +5,96 @@ recover.  :class:`FaultInjector` drives that model against a running
 cluster:
 
 * **replica crash** — the replica loses its soft state (pending refresh
-  writesets, active transactions); its durable database survives.  The load
-  balancer stops routing to it and fails its in-flight requests; the
-  certifier can exclude it from propagation and EAGER counting (without the
-  exclusion, EAGER blocks on the dead replica — the availability weakness of
-  the eager approach, which the tests demonstrate).
+  writesets, active transactions); its durable database survives.  How the
+  rest of the cluster reacts depends on the configuration: with heartbeats
+  enabled (``heartbeat_interval_ms``) the injector only kills the process —
+  the load balancer and certifier *detect* the failure through missed
+  heartbeats and route around it, which is the honest model (detection
+  latency becomes measurable).  Without heartbeats, the injector plays
+  oracle and notifies them directly, as before.
 * **replica recovery** — the replica rejoins, asks the certifier to replay
   the decisions it missed (the certifier's durable log is the recovery
   source, per the Tashkent design the paper adopts), catches up through the
   normal refresh-application path and resumes serving.
-* **certifier failover** — the certifier is deterministic and lightweight,
-  so it is replicated for availability with the state-machine approach: the
-  standby holds a copy of the decision log and takes over the certifier
-  role; proxies re-point to it and in-flight certifications abort cleanly.
+* **link partition** — cut/heal directed network links (asymmetric
+  partitions); see :class:`~repro.sim.network.Network`.
+* **certifier kill / failover** — :meth:`kill_certifier` crash-stops the
+  certifier and lets the configured standby promote itself;
+  :meth:`failover_certifier` performs the manual, instantaneous failover
+  through the certifier's public state-transfer API.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..core.cluster import ReplicatedDatabase
 from ..middleware.certifier import Certifier
-from ..middleware.durability import DecisionLog
 from ..middleware.perfmodel import CertifierPerformance
 
 __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Crash and recover components of a live cluster."""
+    """Crash, partition and recover components of a live cluster."""
 
     def __init__(self, cluster: ReplicatedDatabase):
         self.cluster = cluster
         self.crashed_replicas: set[str] = set()
         self._failover_count = 0
 
+    # -- helpers -------------------------------------------------------------
+    @property
+    def detection_enabled(self) -> bool:
+        """True when the cluster runs heartbeat failure detection — the
+        injector then never tells anyone about a fault; the middleware has
+        to notice on its own."""
+        return self.cluster.config.heartbeat_interval_ms is not None
+
+    def _check_replica(self, name: str) -> None:
+        if name not in self.cluster.replicas:
+            known = ", ".join(sorted(self.cluster.replicas))
+            raise ValueError(f"unknown replica {name!r}; known replicas: {known}")
+
     # -- replica faults ------------------------------------------------------
     def crash_replica(self, name: str, exclude_from_membership: bool = True) -> None:
         """Crash one replica.
 
-        ``exclude_from_membership=False`` leaves the dead replica in the
-        certifier's view — under EAGER, update transactions then block until
-        the replica recovers, reproducing the eager approach's availability
-        problem.
+        With heartbeats enabled only the crash itself happens here; the
+        balancer and certifier find out through missed heartbeats.  Without
+        them, ``exclude_from_membership=False`` leaves the dead replica in
+        the certifier's view — under EAGER, update transactions then block
+        until the replica recovers, reproducing the eager approach's
+        availability problem.
         """
+        self._check_replica(name)
         if name in self.crashed_replicas:
             raise ValueError(f"replica {name!r} is already crashed")
         proxy = self.cluster.replicas[name]
         self.cluster.network.take_down(name)
         proxy.crash()
-        self.cluster.load_balancer.replica_down(name)
-        if exclude_from_membership:
-            self.cluster.certifier.remove_replica(name)
+        if not self.detection_enabled:
+            self.cluster.load_balancer.replica_down(name)
+            if exclude_from_membership:
+                self.cluster.certifier.remove_replica(name)
         self.crashed_replicas.add(name)
 
     def recover_replica(self, name: str) -> None:
-        """Recover a crashed replica: rejoin membership and replay the
-        certifier's log from the replica's durable version."""
+        """Recover a crashed replica: rejoin and replay the certifier's log
+        from the replica's durable version.
+
+        The :class:`~repro.middleware.messages.RecoveryRequest` the replica
+        sends re-admits it at the certifier; with heartbeats the balancer
+        resumes routing on the first answered ping, otherwise the injector
+        re-admits it directly.
+        """
+        self._check_replica(name)
         if name not in self.crashed_replicas:
             raise ValueError(f"replica {name!r} is not crashed")
         proxy = self.cluster.replicas[name]
-        self.cluster.certifier.add_replica(name, applied_version=proxy.engine.version)
+        if not self.detection_enabled:
+            self.cluster.certifier.add_replica(name, applied_version=proxy.engine.version)
         proxy.recover()
-        self.cluster.load_balancer.replica_up(name)
+        if not self.detection_enabled:
+            self.cluster.load_balancer.replica_up(name)
         self.crashed_replicas.discard(name)
 
     def surviving_replicas(self) -> list[str]:
@@ -78,15 +105,45 @@ class FaultInjector:
             if name not in self.crashed_replicas
         ]
 
-    # -- certifier failover ----------------------------------------------------
-    def failover_certifier(self) -> Certifier:
-        """Crash the certifier and promote a standby.
+    # -- link partitions -------------------------------------------------------
+    def partition_link(self, sender: str, recipient: str, symmetric: bool = False) -> None:
+        """Cut the directed link ``sender → recipient`` (both directions when
+        ``symmetric``); in-flight messages on the link are lost."""
+        self.cluster.network.partition_link(sender, recipient, symmetric=symmetric)
 
-        The standby is initialised from a copy of the decision log (state
-        machine replication: the certifier is deterministic, so replaying
-        the decision sequence reconstructs its exact state).  Proxies
-        re-point to the standby; certifications in flight at the old
-        certifier abort cleanly at their origin replicas.
+    def heal_link(self, sender: str, recipient: str, symmetric: bool = False) -> None:
+        """Restore a previously cut link."""
+        self.cluster.network.heal_link(sender, recipient, symmetric=symmetric)
+
+    def heal_all_links(self) -> None:
+        """Restore every cut link."""
+        self.cluster.network.heal_all_links()
+
+    # -- certifier faults ------------------------------------------------------
+    def kill_certifier(self) -> Certifier:
+        """Crash-stop the live certifier and let the cluster heal itself.
+
+        Requires a configured standby for the cluster to make progress
+        again: proxies vote the certifier suspected once their heartbeats
+        time out, and the standby promotes itself on a majority.  Returns
+        the killed certifier (for inspecting its final log).
+        """
+        certifier = self.cluster.certifier
+        self.cluster.network.take_down(certifier.name)
+        certifier.halt()
+        return certifier
+
+    def failover_certifier(self) -> Certifier:
+        """Manual, instantaneous failover: crash the certifier and promote a
+        cold copy initialised through the public state-transfer API
+        (:meth:`~repro.middleware.certifier.Certifier.snapshot_state` /
+        ``restore_state`` plus a decision-log clone).
+
+        This models an operator-driven switchover with perfect state
+        transfer; :meth:`kill_certifier` plus a standby models the
+        self-healing path with real detection and shipping delays.  Don't
+        combine it with a configured standby — the standby would promote a
+        second successor.
         """
         old = self.cluster.certifier
         self.cluster.network.take_down(old.name)
@@ -94,8 +151,7 @@ class FaultInjector:
 
         self._failover_count += 1
         new_name = f"certifier-standby-{self._failover_count}"
-        standby_log = old.log.clone()
-        standby = Certifier(
+        successor = Certifier(
             env=self.cluster.env,
             network=self.cluster.network,
             perf=CertifierPerformance(
@@ -105,13 +161,20 @@ class FaultInjector:
             replica_names=list(old.replica_names),
             level=old.policy,
             name=new_name,
-            log=standby_log,
+            log=old.log.clone(),
+            heartbeat=self.cluster.config.heartbeat_settings,
+            epoch=old.epoch + 1,
         )
-        standby.applied_versions.update(old.applied_versions)
-        standby._departed_versions.update(old._departed_versions)
+        successor.restore_state(old.snapshot_state())
 
         for proxy in self.cluster.replicas.values():
+            if proxy.monitor is not None:
+                proxy.monitor.replace_target(proxy.certifier_name, new_name)
             proxy.certifier_name = new_name
+            proxy.certifier_epoch = successor.epoch
             proxy.fail_pending_certifications("certifier failover")
-        self.cluster.certifier = standby
-        return standby
+        balancer = self.cluster.load_balancer
+        balancer.certifier_name = new_name
+        balancer._certifier_epoch = successor.epoch
+        self.cluster.certifier = successor
+        return successor

@@ -1,0 +1,179 @@
+"""The nemesis — seeded background chaos against a live cluster.
+
+Inspired by Jepsen's nemesis process: while a workload runs, a seeded
+scheduler randomly crashes and recovers replicas, cuts and heals directed
+network links, and (optionally, once) kills the certifier so the standby
+must promote itself.  At the end of its window it heals every fault it
+injected so the run can converge and be audited.
+
+Safety envelope — the nemesis stays inside the failure model the
+self-healing stack is designed for (and the docs are honest about):
+
+* at most a **minority** of replicas is crashed at any time, so the replica
+  electorate can always reach the promotion majority;
+* links touching the **standby** are never cut (a single semi-synchronous
+  standby cannot survive losing its shipping channel; quorum replication
+  would be needed — see ``docs/PROTOCOL.md``);
+* the certifier kill happens only when all replicas are up, so detection
+  votes can actually assemble a majority.
+
+Every injected fault is appended to :attr:`Nemesis.actions` as
+``(virtual_time_ms, action, detail)`` for debugging failed audits: a seed
+reproduces its schedule exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.cluster import ReplicatedDatabase
+from ..sim.rng import Rng
+from .injector import FaultInjector
+
+__all__ = ["Nemesis"]
+
+
+class Nemesis:
+    """Seeded fault scheduler running as a simulation process."""
+
+    def __init__(
+        self,
+        cluster: ReplicatedDatabase,
+        rng: Rng,
+        duration_ms: float,
+        injector: Optional[FaultInjector] = None,
+        mean_interval_ms: float = 150.0,
+        fault_duration_ms: tuple[float, float] = (80.0, 400.0),
+        kill_certifier: bool = False,
+        certifier_kill_after_ms: float = 500.0,
+        max_partitions: int = 2,
+    ):
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        self.cluster = cluster
+        self.rng = rng
+        self.duration_ms = duration_ms
+        self.injector = injector if injector is not None else FaultInjector(cluster)
+        self.mean_interval_ms = mean_interval_ms
+        self.fault_duration_ms = fault_duration_ms
+        self.kill_certifier = kill_certifier
+        self.certifier_kill_after_ms = certifier_kill_after_ms
+        self.max_partitions = max_partitions
+        #: (virtual time, action, detail) — the reproducible fault schedule
+        self.actions: list[tuple[float, str, str]] = []
+        #: links currently cut by this nemesis: (sender, recipient, symmetric)
+        self._cut_links: list[tuple[str, str, bool]] = []
+        self.certifier_killed = False
+        self.finished = False
+        self._start = cluster.env.now
+        self._process = cluster.env.process(self._run(), name="nemesis")
+
+    # -- schedule ------------------------------------------------------------
+    def _log(self, action: str, detail: str) -> None:
+        self.actions.append((self.cluster.env.now, action, detail))
+
+    def _majority_safe_to_crash(self) -> bool:
+        total = len(self.cluster.replica_names)
+        up_after = total - len(self.injector.crashed_replicas) - 1
+        return 2 * up_after > total
+
+    def _run(self):
+        env = self.cluster.env
+        deadline = self._start + self.duration_ms
+        while True:
+            yield env.timeout(self.rng.exponential(self.mean_interval_ms))
+            if env.now >= deadline:
+                break
+            self._inject_one()
+        self._heal_everything()
+        self.finished = True
+
+    def _inject_one(self) -> None:
+        choices = []
+        if self._majority_safe_to_crash():
+            choices.append("crash")
+        if self.injector.crashed_replicas:
+            choices.append("recover")
+        if len(self._cut_links) < self.max_partitions:
+            choices.append("partition")
+        if self._cut_links:
+            choices.append("heal")
+        if (
+            self.kill_certifier
+            and not self.certifier_killed
+            and self.cluster.standby is not None
+            and not self.injector.crashed_replicas
+            and self.cluster.env.now - self._start >= self.certifier_kill_after_ms
+        ):
+            choices.append("kill-certifier")
+        if not choices:
+            return
+        action = self.rng.choice(choices)
+        getattr(self, f"_do_{action.replace('-', '_')}")()
+
+    def _do_crash(self) -> None:
+        name = self.rng.choice(self.injector.surviving_replicas())
+        self.injector.crash_replica(name)
+        self._log("crash", name)
+        self._schedule_heal("recover", name)
+
+    def _do_recover(self) -> None:
+        name = self.rng.choice(sorted(self.injector.crashed_replicas))
+        self.injector.recover_replica(name)
+        self._log("recover", name)
+
+    def _do_partition(self) -> None:
+        # One directed (or symmetric) link between a replica and either the
+        # balancer or the live certifier; standby links are off-limits.
+        replica = self.rng.choice(self.cluster.replica_names)
+        peer = self.rng.choice(["lb", self.cluster.certifier.name])
+        sender, recipient = (
+            (replica, peer) if self.rng.random() < 0.5 else (peer, replica)
+        )
+        symmetric = self.rng.random() < 0.5
+        self.injector.partition_link(sender, recipient, symmetric=symmetric)
+        self._cut_links.append((sender, recipient, symmetric))
+        arrow = "<->" if symmetric else "->"
+        self._log("partition", f"{sender}{arrow}{recipient}")
+        self._schedule_heal("heal-link", (sender, recipient, symmetric))
+
+    def _do_heal(self) -> None:
+        link = self._cut_links.pop(self.rng.randint(0, len(self._cut_links) - 1))
+        self.injector.heal_link(link[0], link[1], symmetric=link[2])
+        self._log("heal", f"{link[0]}->{link[1]}")
+
+    def _do_kill_certifier(self) -> None:
+        killed = self.injector.kill_certifier()
+        self.certifier_killed = True
+        self._log("kill-certifier", killed.name)
+
+    def _schedule_heal(self, kind: str, target) -> None:
+        """Bound every injected fault's lifetime so faults overlap but none
+        lasts forever."""
+        low, high = self.fault_duration_ms
+        delay = self.rng.uniform(low, high)
+
+        def _healer():
+            yield self.cluster.env.timeout(delay)
+            if kind == "recover":
+                if target in self.injector.crashed_replicas:
+                    self.injector.recover_replica(target)
+                    self._log("recover", f"{target} (scheduled)")
+            else:
+                if target in self._cut_links:
+                    self._cut_links.remove(target)
+                    self.injector.heal_link(target[0], target[1], symmetric=target[2])
+                    self._log("heal", f"{target[0]}->{target[1]} (scheduled)")
+
+        self.cluster.env.process(_healer(), name=f"nemesis-heal-{kind}")
+
+    def _heal_everything(self) -> None:
+        """End of the chaos window: restore the cluster to a faultless state
+        (the audit needs a converged end state)."""
+        for link in list(self._cut_links):
+            self._cut_links.remove(link)
+            self.injector.heal_link(link[0], link[1], symmetric=link[2])
+        self.injector.heal_all_links()
+        for name in sorted(self.injector.crashed_replicas):
+            self.injector.recover_replica(name)
+        self._log("final-heal", "all links healed, all replicas recovered")

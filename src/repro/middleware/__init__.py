@@ -9,34 +9,54 @@ from .certifier import Certifier
 from .clock import VersionClock
 from .context import TxnContext
 from .durability import DecisionLog, LogEntry
+from .heartbeat import HeartbeatMonitor, HeartbeatSettings
 from .loadbalancer import LoadBalancer
 from .messages import (
+    CertifierSuspected,
     CertifyReply,
     CertifyRequest,
     ClientRequest,
     ClientResponse,
     CommitApplied,
+    DecisionAck,
+    DecisionRecord,
+    FateQuery,
+    FateReply,
     GlobalCommitNotice,
+    HeartbeatAck,
+    HeartbeatPing,
     RecoveryReply,
     RecoveryRequest,
     RefreshWriteset,
     RoutedRequest,
+    StandbyPromoted,
     TxnResponse,
     next_request_id,
 )
 from .perfmodel import CertifierPerformance, PerformanceParams, ReplicaPerformance
 from .proxy import ReplicaProxy
+from .standby import CertifierStandby
 
 __all__ = [
     "Certifier",
     "CertifierPerformance",
+    "CertifierStandby",
+    "CertifierSuspected",
     "CertifyReply",
     "CertifyRequest",
     "ClientRequest",
     "ClientResponse",
     "CommitApplied",
+    "DecisionAck",
     "DecisionLog",
+    "DecisionRecord",
+    "FateQuery",
+    "FateReply",
     "GlobalCommitNotice",
+    "HeartbeatAck",
+    "HeartbeatMonitor",
+    "HeartbeatPing",
+    "HeartbeatSettings",
     "LoadBalancer",
     "LogEntry",
     "PerformanceParams",
@@ -46,6 +66,7 @@ __all__ = [
     "ReplicaPerformance",
     "ReplicaProxy",
     "RoutedRequest",
+    "StandbyPromoted",
     "TxnContext",
     "TxnResponse",
     "VersionClock",

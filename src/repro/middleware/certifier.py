@@ -13,6 +13,27 @@ When the configured :class:`~repro.core.policy.ConsistencyPolicy` tracks
 global commits (EAGER), the certifier also maintains a per-commit counter of
 replicas that have applied the commit, and notifies the originating replica
 once the counter reaches the replica count (the *global commit*).
+
+Self-healing extensions (all opt-in, see ``docs/PROTOCOL.md``):
+
+* **Heartbeat membership** — with :class:`~.heartbeat.HeartbeatSettings`
+  the certifier monitors the replicas itself: a replica that misses enough
+  heartbeats is excluded from propagation and EAGER counting, and re-admitted
+  when it answers again (or when its :class:`~.messages.RecoveryRequest`
+  arrives).  Pings to replicas piggyback ``V_commit`` so a replica that lost
+  refresh writesets to a partition can detect the gap.
+* **Fate resolution with fencing** — the load balancer resolves the fate of
+  a timed-out update through :class:`~.messages.FateQuery`.  A decided
+  commit is answered from the request index over the decision log; an
+  undecided request is *fenced* (a later certification of it aborts), which
+  makes the abort answer final: an acknowledged commit is never doubled and
+  never lost.
+* **Semi-synchronous standby** — with ``standby_name`` set, each decision is
+  shipped to the standby as a :class:`~.messages.DecisionRecord` and only
+  *released* (reply + refresh fan-out + fate answers) once the standby acks
+  it, so a promotion never loses an acknowledged commit.  A standby that
+  stops acking degrades the primary to asynchronous shipping after
+  ``standby_ack_timeout_ms`` (counted in ``standby_sync_timeouts``).
 """
 
 from __future__ import annotations
@@ -20,17 +41,25 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.policy import resolve_policy
-from ..sim.kernel import Environment
+from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from ..sim.resources import Resource
 from .durability import DecisionLog, LogEntry
+from .heartbeat import HeartbeatMonitor, HeartbeatSettings
 from .messages import (
     CertifyReply,
     CertifyRequest,
     CommitApplied,
+    DecisionAck,
+    DecisionRecord,
+    FateQuery,
+    FateReply,
     GlobalCommitNotice,
+    HeartbeatAck,
+    HeartbeatPing,
     RecoveryReply,
     RecoveryRequest,
+    StandbyPromoted,
 )
 from .perfmodel import CertifierPerformance
 
@@ -49,6 +78,10 @@ class Certifier:
         level,
         name: str = "certifier",
         log: Optional[DecisionLog] = None,
+        heartbeat: Optional[HeartbeatSettings] = None,
+        standby_name: Optional[str] = None,
+        standby_ack_timeout_ms: float = 10.0,
+        epoch: int = 1,
     ):
         self.env = env
         self.network = network
@@ -72,11 +105,50 @@ class Certifier:
         # (origin, request_id) awaiting global commit.
         self._applied_by: dict[int, set[str]] = {}
         self._awaiting_global: dict[int, tuple[str, int]] = {}
+        # Fate resolution: request_id -> commit version for every logged
+        # decision (rebuilt from the log, so it survives failover), plus the
+        # request ids the certifier aborted or fenced.
+        self._request_index: dict[int, int] = {
+            entry.request_id: entry.commit_version
+            for entry in self.log._entries
+            if entry.request_id
+        }
+        self._aborted_requests: set[int] = set()
+        self._fenced: set[int] = set()
+        # Semi-synchronous standby shipping.
+        self.standby_name = standby_name
+        self.standby_ack_timeout_ms = standby_ack_timeout_ms
+        self._record_waiters: dict[int, Event] = {}
+        #: versions appended but not yet released (standby ack outstanding);
+        #: fate queries for them are deferred until release.
+        self._unreleased: set[int] = set()
+        #: failover epoch this certifier belongs to (bumped per promotion)
+        self.epoch = epoch
         # Counters for tests/metrics.
         self.certified_count = 0
         self.abort_count = 0
+        self.fenced_aborts = 0
+        self.fate_queries = 0
+        self.standby_sync_timeouts = 0
         #: set by halt(): a halted certifier makes no further decisions.
         self.halted = False
+        #: heartbeat monitor over the replicas (None = detection disabled)
+        self.monitor: Optional[HeartbeatMonitor] = None
+        if heartbeat is not None:
+            self.monitor = HeartbeatMonitor(
+                env,
+                network,
+                owner=self.name,
+                targets=list(self.replica_names),
+                settings=heartbeat,
+                on_suspect=self._on_replica_suspect,
+                on_restore=self._on_replica_restore,
+                ping_payload=lambda _t: {
+                    "commit_version": self.commit_version,
+                    "epoch": self.epoch,
+                },
+                enabled=lambda: not self.halted,
+            )
         self._process = env.process(self._run(), name=f"{name}-loop")
 
     # -- derived state ------------------------------------------------------
@@ -102,6 +174,37 @@ class Certifier:
         """
         return self.log.truncate_to(self.replication_horizon())
 
+    def decision_for(self, request_id: int) -> Optional[int]:
+        """The commit version logged for ``request_id`` (None = no commit).
+
+        The no-lost-acknowledged-commit audit keys on this: every commit the
+        client was acknowledged for must resolve here.
+        """
+        return self._request_index.get(request_id)
+
+    # -- state transfer (failover) ------------------------------------------
+    def snapshot_state(self) -> dict:
+        """The certifier's soft state, for standby initialisation.
+
+        The decision log travels separately (clone or record tailing); the
+        snapshot covers membership and replica progress, the state the old
+        failover path reached into private attributes for.
+        """
+        return {
+            "replicas": list(self.replica_names),
+            "applied": dict(self.applied_versions),
+            "departed": dict(self._departed_versions),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a peer's :meth:`snapshot_state` (standby promotion)."""
+        self.replica_names = list(state["replicas"])
+        self.applied_versions = dict(state["applied"])
+        self._departed_versions = dict(state["departed"])
+        if self.monitor is not None:
+            for replica in self.replica_names:
+                self.monitor.add_target(replica)
+
     # -- main loop ------------------------------------------------------------
     def halt(self) -> None:
         """Crash-stop the certifier: no further decisions.
@@ -123,8 +226,33 @@ class Certifier:
                 self._handle_commit_applied(message)
             elif isinstance(message, RecoveryRequest):
                 self._handle_recovery(message)
+            elif isinstance(message, FateQuery):
+                self._handle_fate(message)
+            elif isinstance(message, HeartbeatPing):
+                self._handle_ping(message)
+            elif isinstance(message, HeartbeatAck):
+                if self.monitor is not None:
+                    self.monitor.observe_ack(message)
+            elif isinstance(message, DecisionAck):
+                waiter = self._record_waiters.get(message.commit_version)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(message)
+            elif isinstance(message, StandbyPromoted):
+                # A newer certifier exists: fence ourselves (split-brain
+                # protection for the reachable case).
+                if message.epoch > self.epoch:
+                    self.halt()
+                    return
             else:
                 raise TypeError(f"certifier got unexpected message {message!r}")
+
+    def _handle_ping(self, ping: HeartbeatPing) -> None:
+        # The standby's pings double as state sync: the ack carries a
+        # snapshot so a promotion starts from near-current membership.
+        payload = self.snapshot_state() if ping.sender == self.standby_name else None
+        self.network.send(
+            self.name, ping.sender, HeartbeatAck(self.name, ping.seq, payload)
+        )
 
     def _handle_certify(self, request: CertifyRequest):
         # Certification + durable logging consume the certifier's CPU; this
@@ -134,9 +262,28 @@ class Certifier:
             # Crashed mid-certification: the decision was never made.
             return
 
+        if request.request_id in self._fenced:
+            # The balancer already resolved this request's fate as aborted;
+            # committing now would double an answer the client acted on.
+            self.abort_count += 1
+            self.fenced_aborts += 1
+            self._aborted_requests.add(request.request_id)
+            self.network.send(
+                self.name,
+                request.origin,
+                CertifyReply(
+                    txn_id=request.txn_id,
+                    request_id=request.request_id,
+                    certified=False,
+                    commit_version=None,
+                ),
+            )
+            return
+
         conflict_version = self._find_conflict(request)
         if conflict_version is not None:
             self.abort_count += 1
+            self._aborted_requests.add(request.request_id)
             reply = CertifyReply(
                 txn_id=request.txn_id,
                 request_id=request.request_id,
@@ -148,10 +295,13 @@ class Certifier:
             return
 
         version = self.commit_version + 1
-        self.log.append(
-            LogEntry(version, request.txn_id, request.origin, request.writeset)
+        entry = LogEntry(
+            version, request.txn_id, request.origin, request.writeset,
+            request_id=request.request_id,
         )
+        self.log.append(entry)
         self.certified_count += 1
+        self._request_index[request.request_id] = version
         if self.policy.tracks_global_commit:
             self._applied_by[version] = set()
             self._awaiting_global[version] = (request.origin, request.request_id)
@@ -162,8 +312,35 @@ class Certifier:
             certified=True,
             commit_version=version,
         )
+        if self.standby_name is not None:
+            # Semi-synchronous shipping: release only once the standby holds
+            # the record (or the ack timeout degrades us to asynchronous).
+            self._unreleased.add(version)
+            waiter = Event(self.env)
+            self._record_waiters[version] = waiter
+            self.network.send(self.name, self.standby_name, DecisionRecord(entry))
+            self.env.process(
+                self._release_after_standby(version, waiter, request, reply),
+                name=f"{self.name}-release-v{version}",
+            )
+        else:
+            self._release_decision(request, reply, version)
+
+    def _release_after_standby(self, version, waiter, request, reply):
+        timer = self.env.timeout(self.standby_ack_timeout_ms)
+        yield self.env.any_of([waiter, timer])
+        self._record_waiters.pop(version, None)
+        if not waiter.triggered:
+            self.standby_sync_timeouts += 1
+        self._release_decision(request, reply, version)
+
+    def _release_decision(self, request: CertifyRequest, reply: CertifyReply,
+                          version: int) -> None:
+        """Send the decision to the origin and fan the refresh out."""
+        self._unreleased.discard(version)
+        if self.halted:
+            return
         self.network.send(self.name, request.origin, reply)
-        # Forward the refresh writeset to every other replica.
         from .messages import RefreshWriteset  # local import avoids cycle noise
 
         for replica in self.replica_names:
@@ -201,6 +378,28 @@ class Certifier:
                         return version
         return None
 
+    def _handle_fate(self, query: FateQuery) -> None:
+        """Resolve the fate of a timed-out update (deadline path).
+
+        Three outcomes: the decision log holds a commit → report it (the
+        acknowledgment is never lost); the request was aborted → final
+        abort; no decision → fence the request id and report abort (a late
+        certification can no longer commit it, so the abort is final too).
+        A decided-but-unreleased version (standby ack outstanding) defers
+        the answer — the balancer's retry asks again after release.
+        """
+        self.fate_queries += 1
+        version = self._request_index.get(query.request_id)
+        if version is not None:
+            if version in self._unreleased:
+                return  # not replicated to the standby yet; answer the retry
+            reply = FateReply(query.request_id, committed=True, commit_version=version)
+        else:
+            if query.request_id not in self._aborted_requests:
+                self._fenced.add(query.request_id)
+            reply = FateReply(query.request_id, committed=False)
+        self.network.send(self.name, query.reply_to, reply)
+
     def _handle_commit_applied(self, message: CommitApplied) -> None:
         if message.replica in self.applied_versions:
             current = self.applied_versions[message.replica]
@@ -222,6 +421,10 @@ class Certifier:
             )
 
     def _handle_recovery(self, message: RecoveryRequest) -> None:
+        # Re-admission is part of recovery: the request itself tells the
+        # certifier the replica is back and at which durable version, so no
+        # oracle needs to call add_replica on the replica's behalf.
+        self.add_replica(message.replica, applied_version=message.after_version)
         entries = tuple(
             (entry.commit_version, entry.writeset)
             for entry in self.log.entries_after(message.after_version)
@@ -229,6 +432,15 @@ class Certifier:
         self.network.send(self.name, message.replica, RecoveryReply(message.replica, entries))
 
     # -- membership (fault tolerance) ---------------------------------------
+    def _on_replica_suspect(self, replica: str) -> None:
+        self.remove_replica(replica)
+
+    def _on_replica_restore(self, replica: str, ack: HeartbeatAck) -> None:
+        applied = 0
+        if isinstance(ack.payload, dict):
+            applied = int(ack.payload.get("version", 0))
+        self.add_replica(replica, applied_version=applied)
+
     def remove_replica(self, replica: str) -> None:
         """Exclude a crashed replica from propagation and EAGER counting.
 
@@ -259,3 +471,5 @@ class Certifier:
             self.replica_names.append(replica)
         self.applied_versions[replica] = applied_version
         self._departed_versions.pop(replica, None)
+        if self.monitor is not None:
+            self.monitor.add_target(replica)

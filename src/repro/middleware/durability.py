@@ -22,12 +22,19 @@ __all__ = ["LogEntry", "DecisionLog"]
 
 @dataclass(frozen=True)
 class LogEntry:
-    """One committed transaction: its global version, origin and writeset."""
+    """One committed transaction: its global version, origin and writeset.
+
+    ``request_id`` ties the decision back to the client request that asked
+    for it — the fate-resolution protocol looks commits up by request id
+    when an update transaction times out (0 for entries predating the
+    field, e.g. old file sinks).
+    """
 
     commit_version: int
     txn_id: int
     origin: str
     writeset: WriteSet
+    request_id: int = 0
 
     def to_json(self) -> str:
         """Serialise for the file sink (used by the durability tests)."""
@@ -45,6 +52,7 @@ class LogEntry:
                 "v": self.commit_version,
                 "txn": self.txn_id,
                 "origin": self.origin,
+                "req": self.request_id,
                 "ops": ops,
             },
             sort_keys=True,
@@ -58,7 +66,10 @@ class LogEntry:
             WriteOp(o["table"], o["key"], OpKind(o["kind"]), o["values"])
             for o in data["ops"]
         ]
-        return LogEntry(data["v"], data["txn"], data["origin"], WriteSet(ops))
+        return LogEntry(
+            data["v"], data["txn"], data["origin"], WriteSet(ops),
+            request_id=data.get("req", 0),
+        )
 
 
 class DecisionLog:

@@ -35,12 +35,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..storage.transaction import Transaction
     from .proxy import ReplicaProxy
 
-__all__ = ["CertifierUnavailable", "ReplicaCrashed", "StageAbort", "TxnLifecycle"]
+__all__ = [
+    "CertifierUnavailable",
+    "ReplicaCrashed",
+    "StageAbort",
+    "TxnAbandoned",
+    "TxnLifecycle",
+]
 
 
 class ReplicaCrashed(Exception):
     """Internal signal: the replica crashed while a transaction was in
     flight; the transaction process exits without responding."""
+
+
+class TxnAbandoned(ReplicaCrashed):
+    """The certify (or global-commit) wait exceeded the proxy's
+    ``certify_timeout_ms``.
+
+    Subclasses :class:`ReplicaCrashed` because the exit discipline is the
+    same: roll back locally and **never respond** — the certifier may have
+    committed the writeset, so answering "aborted" here could contradict the
+    durable decision.  The load balancer's request deadline resolves the
+    client-visible fate through the certifier's decision log instead.
+    """
 
 
 class CertifierUnavailable(Exception):
@@ -199,7 +217,19 @@ class TxnLifecycle:
             ),
         )
         try:
-            reply: CertifyReply = yield waiter
+            if proxy.certify_timeout_ms is not None:
+                timer = proxy.env.timeout(proxy.certify_timeout_ms)
+                yield proxy.env.any_of([waiter, timer])
+                if not waiter.triggered:
+                    # No decision within the bound: the certifier is dead,
+                    # partitioned, or its reply was lost.  Abandon silently
+                    # (see TxnAbandoned) and leave no dangling waiter.
+                    proxy._certify_waiters.pop(self.request.request_id, None)
+                    proxy.abandoned_count += 1
+                    raise TxnAbandoned
+                reply: CertifyReply = waiter.value
+            else:
+                reply = yield waiter
         except CertifierUnavailable as exc:
             raise StageAbort(str(exc)) from None
         if proxy.crashed or not txn.is_active:
@@ -246,7 +276,17 @@ class TxnLifecycle:
         notice = Event(proxy.env)
         proxy._global_waiters[self.request.request_id] = notice
         try:
-            yield notice
+            if proxy.certify_timeout_ms is not None:
+                timer = proxy.env.timeout(proxy.certify_timeout_ms)
+                yield proxy.env.any_of([notice, timer])
+                if not notice.triggered:
+                    # The transaction is durably decided and committed here;
+                    # only the global round is overdue (certifier loss, or a
+                    # co-crashed replica that will never report).  Degrade
+                    # to acknowledging now, like the failover path below.
+                    proxy._global_waiters.pop(self.request.request_id, None)
+            else:
+                yield notice
         except CertifierUnavailable:
             # The decision is durable and the transaction is committed;
             # only the global acknowledgment round was lost to the

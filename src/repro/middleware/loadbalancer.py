@@ -11,24 +11,81 @@ consistency level, tags the request with it and dispatches it to the replica
 with the fewest active transactions.  On every replica response it updates
 the version tracker from the proxy's tags and relays the outcome to the
 client.
+
+Self-healing extensions (opt-in; see ``docs/PROTOCOL.md``):
+
+* **failure detection** — a :class:`~.heartbeat.HeartbeatMonitor` over the
+  replicas routes around a suspected replica and resumes when it answers
+  again, replacing the oracle calls the fault injector used to make;
+* **request deadlines** — with ``request_deadline_ms`` set, every dispatch
+  arms a timer.  A timed-out *read-only* transaction is re-routed to another
+  live replica (reads are idempotent).  A timed-out *update* is never
+  blindly retried: its fate is resolved through the certifier's decision log
+  (:class:`~.messages.FateQuery`) — a logged commit is acknowledged as such,
+  an unlogged one is fenced into a final abort and only then retried under a
+  fresh request id.  This is what makes "an acknowledged commit is never
+  doubled and never lost" hold under crashes and partitions.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from ..core.policy import resolve_policy
 from ..core.versions import VersionTracker
 from ..histories.records import RunHistory, TxnRecord
-from ..sim.kernel import Environment
+from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
-from .messages import ClientRequest, ClientResponse, RoutedRequest, TxnResponse
+from .heartbeat import HeartbeatMonitor, HeartbeatSettings
+from .messages import (
+    ClientRequest,
+    ClientResponse,
+    FateQuery,
+    FateReply,
+    HeartbeatAck,
+    RoutedRequest,
+    StandbyPromoted,
+    TxnResponse,
+    next_request_id,
+)
 
 __all__ = ["LoadBalancer"]
 
 
+class _Outstanding:
+    """Bookkeeping for one client request across its dispatch attempts."""
+
+    __slots__ = (
+        "client_request",
+        "request",
+        "replica",
+        "attempts",
+        "start_version",
+        "read_only",
+        "fate_pending",
+        "counted",
+    )
+
+    def __init__(self, client_request, request, replica, start_version, read_only):
+        #: the request as the client sent it (client-facing id, submit time)
+        self.client_request = client_request
+        #: the current attempt's request (fresh id per retry — a fenced id
+        #: must never be re-certified)
+        self.request = request
+        self.replica = replica
+        self.attempts = 1
+        self.start_version = start_version
+        self.read_only = read_only
+        #: an update whose fate is being resolved through the certifier
+        self.fate_pending = False
+        #: whether the replica's active count currently includes this entry
+        self.counted = True
+
+
 class LoadBalancer:
-    """Routing, version tagging and response relaying."""
+    """Routing, version tagging, response relaying — and, when enabled,
+    deadline-driven retry and fate resolution."""
 
     #: supported routing policies
     ROUTING_POLICIES = ("least-active", "round-robin", "random")
@@ -45,6 +102,12 @@ class LoadBalancer:
         routing: str = "least-active",
         rng=None,
         freshness_bound: Optional[int] = None,
+        certifier_name: str = "certifier",
+        heartbeat: Optional[HeartbeatSettings] = None,
+        request_deadline_ms: Optional[float] = None,
+        max_attempts: int = 3,
+        fate_retry_ms: float = 25.0,
+        max_fate_attempts: int = 40,
     ):
         if routing not in self.ROUTING_POLICIES:
             raise ValueError(
@@ -53,6 +116,8 @@ class LoadBalancer:
             )
         if routing == "random" and rng is None:
             raise ValueError("random routing requires an rng")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.env = env
         self.network = network
         self.name = name
@@ -66,16 +131,50 @@ class LoadBalancer:
         self.rng = rng
         #: staleness allowance (versions) for the RELAXED level
         self.freshness_bound = freshness_bound
+        self.certifier_name = certifier_name
+        self.request_deadline_ms = request_deadline_ms
+        self.max_attempts = max_attempts
+        self.fate_retry_ms = fate_retry_ms
+        self.max_fate_attempts = max_fate_attempts
         self.mailbox: Mailbox = network.register(name)
 
         self._replicas = list(replica_names)
         self._up = set(replica_names)
         self._active_count: dict[str, int] = {r: 0 for r in replica_names}
         self._round_robin_next = 0
-        # request_id -> (ClientRequest, replica) for in-flight requests.
-        self._outstanding: dict[int, tuple[ClientRequest, str]] = {}
+        # current-attempt request_id -> entry for in-flight requests.
+        self._outstanding: dict[int, _Outstanding] = {}
+        self._fate_waiters: dict[int, Event] = {}
+        self._certifier_epoch = 1
         self.dispatched_count = 0
         self.relayed_count = 0
+        # Self-healing counters (all zero when the features are off).
+        self.timed_out_count = 0
+        self.rerouted_reads = 0
+        self.retried_updates = 0
+        self.fate_commits = 0
+        self.fate_aborts = 0
+        self.unresolved_count = 0
+        self.rejected_count = 0
+        #: request ids fenced into a final abort — the nemesis audit checks
+        #: none of them appears in the decision log
+        self.fenced_request_ids: list[int] = []
+        #: client request id -> every attempt id dispatched for it (only
+        #: populated for retried requests); lets audits prove at most one
+        #: attempt of a client request ever committed
+        self.retry_lineage: dict[int, list[int]] = {}
+
+        self.monitor: Optional[HeartbeatMonitor] = None
+        if heartbeat is not None:
+            self.monitor = HeartbeatMonitor(
+                env,
+                network,
+                owner=name,
+                targets=list(replica_names),
+                settings=heartbeat,
+                on_suspect=self.replica_down,
+                on_restore=lambda replica, _ack: self.replica_up(replica),
+            )
 
         self._loop = env.process(self._run(), name=f"{name}-loop")
 
@@ -101,28 +200,53 @@ class LoadBalancer:
                 self._dispatch(message)
             elif isinstance(message, TxnResponse):
                 self._relay(message)
+            elif isinstance(message, FateReply):
+                waiter = self._fate_waiters.pop(message.request_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(message)
+            elif isinstance(message, HeartbeatAck):
+                if self.monitor is not None:
+                    self.monitor.observe_ack(message)
+            elif isinstance(message, StandbyPromoted):
+                if message.epoch > self._certifier_epoch:
+                    self._certifier_epoch = message.epoch
+                    self.certifier_name = message.certifier
             else:
                 raise TypeError(f"load balancer got unexpected message {message!r}")
 
     # -- request path ---------------------------------------------------------
     def _dispatch(self, request: ClientRequest) -> None:
         replica = self._pick_replica()
+        if replica is None:
+            # Every replica is down or suspected.  Answer instead of raising:
+            # the balancer must survive a total outage to route again after
+            # recovery.
+            self.rejected_count += 1
+            self._respond_failure(request, "no replicas available", "")
+            return
         start_version = self._start_version(request)
-        self._outstanding[request.request_id] = (request, replica)
+        template = self.templates.get(request.template)
+        read_only = not (template.is_update if template is not None else True)
+        self._outstanding[request.request_id] = _Outstanding(
+            request, request, replica, start_version, read_only
+        )
         self._active_count[replica] += 1
         self.dispatched_count += 1
         self.network.send(self.name, replica, RoutedRequest(request, start_version))
+        self._arm_deadline(request.request_id, 1)
 
-    def _pick_replica(self) -> str:
+    def _pick_replica(self, exclude: frozenset = frozenset()) -> Optional[str]:
         """Route per the configured policy over the replicas currently up.
 
         The paper's balancer uses least-active ("the replica with the least
         number of active transactions"); round-robin and random exist for
-        the routing ablation.
+        the routing ablation.  Returns None when no replica is available.
         """
-        candidates = [r for r in self._replicas if r in self._up]
+        candidates = [r for r in self._replicas if r in self._up and r not in exclude]
         if not candidates:
-            raise RuntimeError("no replicas available")
+            candidates = [r for r in self._replicas if r in self._up]
+        if not candidates:
+            return None
         if self.routing == "round-robin":
             pick = candidates[self._round_robin_next % len(candidates)]
             self._round_robin_next += 1
@@ -147,22 +271,164 @@ class LoadBalancer:
             session_id=request.session_id,
         )
 
+    # -- deadlines and retry ---------------------------------------------------
+    def _arm_deadline(self, request_id: int, attempts: int) -> None:
+        if self.request_deadline_ms is None:
+            return
+        timer = self.env.timeout(self.request_deadline_ms)
+
+        def _fire(_event, request_id=request_id, attempts=attempts):
+            entry = self._outstanding.get(request_id)
+            if entry is None or entry.attempts != attempts or entry.fate_pending:
+                return  # answered, re-dispatched, or already being resolved
+            self.timed_out_count += 1
+            self._release_slot(entry)
+            self._handle_timeout(request_id, entry, "deadline exceeded")
+
+        timer.callbacks.append(_fire)
+
+    def _release_slot(self, entry: _Outstanding) -> None:
+        if entry.counted:
+            entry.counted = False
+            if self._active_count.get(entry.replica, 0) > 0:
+                self._active_count[entry.replica] -= 1
+
+    def _handle_timeout(self, request_id: int, entry: _Outstanding, why: str) -> None:
+        """A dispatch attempt is overdue (deadline or replica suspicion)."""
+        if entry.read_only:
+            # Reads are idempotent: just try another replica.
+            if entry.attempts < self.max_attempts:
+                self.rerouted_reads += 1
+                self._redispatch(request_id, entry, exclude=frozenset({entry.replica}))
+            else:
+                del self._outstanding[request_id]
+                self._respond_failure(
+                    entry.client_request,
+                    f"read-only transaction failed: {why} "
+                    f"({entry.attempts} attempts)",
+                    entry.replica,
+                )
+            return
+        # Updates must never be blindly retried — resolve the fate first.
+        entry.fate_pending = True
+        self.env.process(
+            self._resolve_fate(request_id, entry),
+            name=f"{self.name}-fate-{request_id}",
+        )
+
+    def _redispatch(self, old_request_id: int, entry: _Outstanding,
+                    exclude: frozenset = frozenset()) -> None:
+        """Retry under a fresh request id (old ids may be fenced) with a
+        recomputed consistency tag."""
+        del self._outstanding[old_request_id]
+        replica = self._pick_replica(exclude=exclude)
+        if replica is None:
+            self.rejected_count += 1
+            self._respond_failure(
+                entry.client_request, "no replicas available for retry", entry.replica
+            )
+            return
+        lineage = self.retry_lineage.setdefault(
+            entry.client_request.request_id, [entry.request.request_id]
+        )
+        request = replace(entry.request, request_id=next_request_id())
+        lineage.append(request.request_id)
+        entry.request = request
+        entry.replica = replica
+        entry.attempts += 1
+        entry.start_version = self._start_version(request)
+        entry.fate_pending = False
+        entry.counted = True
+        self._outstanding[request.request_id] = entry
+        self._active_count[replica] += 1
+        self.network.send(self.name, replica, RoutedRequest(request, entry.start_version))
+        self._arm_deadline(request.request_id, entry.attempts)
+
+    # -- fate resolution -------------------------------------------------------
+    def _resolve_fate(self, request_id: int, entry: _Outstanding):
+        """Ask the certifier what happened to a timed-out update, retrying
+        until answered (the certifier itself may be failing over)."""
+        for _ in range(self.max_fate_attempts):
+            if self._outstanding.get(request_id) is not entry:
+                return  # the real response arrived while we were asking
+            waiter = Event(self.env)
+            self._fate_waiters[request_id] = waiter
+            self.network.send(
+                self.name, self.certifier_name, FateQuery(request_id, self.name)
+            )
+            timer = self.env.timeout(self.fate_retry_ms)
+            yield self.env.any_of([waiter, timer])
+            self._fate_waiters.pop(request_id, None)
+            if waiter.triggered:
+                self._conclude_fate(request_id, entry, waiter.value)
+                return
+        if self._outstanding.get(request_id) is entry:
+            del self._outstanding[request_id]
+            self.unresolved_count += 1
+            self._respond_failure(
+                entry.client_request,
+                "outcome unknown: certifier unreachable",
+                entry.replica,
+            )
+
+    def _conclude_fate(self, request_id: int, entry: _Outstanding,
+                       reply: FateReply) -> None:
+        if self._outstanding.get(request_id) is not entry:
+            return
+        if reply.committed:
+            # The decision log holds the commit; acknowledge it.  The
+            # synthetic response tags the dispatch start version as the
+            # snapshot (a valid lower bound) and the commit version as the
+            # replica version the tracker advances to.
+            self.fate_commits += 1
+            template = self.templates.get(entry.request.template)
+            tables = template.table_set if template is not None else frozenset()
+            self._relay(
+                TxnResponse(
+                    request_id=request_id,
+                    session_id=entry.request.session_id,
+                    reply_to=entry.request.reply_to,
+                    replica=entry.replica,
+                    committed=True,
+                    commit_version=reply.commit_version,
+                    abort_reason=None,
+                    replica_version=reply.commit_version,
+                    updated_tables=frozenset(tables),
+                    stages=None,
+                    snapshot_version=entry.start_version,
+                )
+            )
+            return
+        # Fenced: the abort is final, so retrying (with a fresh id) is safe.
+        self.fate_aborts += 1
+        self.fenced_request_ids.append(request_id)
+        if entry.attempts < self.max_attempts:
+            self.retried_updates += 1
+            self._redispatch(request_id, entry, exclude=frozenset({entry.replica}))
+        else:
+            del self._outstanding[request_id]
+            self._respond_failure(
+                entry.client_request,
+                f"update timed out; fate resolved as aborted "
+                f"({entry.attempts} attempts)",
+                entry.replica,
+            )
+
     # -- response path ---------------------------------------------------------
     def _relay(self, response: TxnResponse) -> None:
         entry = self._outstanding.pop(response.request_id, None)
         if entry is None:
             return  # late response for a request already answered (crash path)
-        request, replica = entry
-        if self._active_count.get(replica, 0) > 0:
-            self._active_count[replica] -= 1
+        self._release_slot(entry)
+        client_request = entry.client_request
 
         self.policy.observe_response(self.tracker, response)
         self.relayed_count += 1
         self.network.send(
             self.name,
-            response.reply_to,
+            client_request.reply_to,
             ClientResponse(
-                request_id=response.request_id,
+                request_id=client_request.request_id,
                 committed=response.committed,
                 commit_version=response.commit_version,
                 abort_reason=response.abort_reason,
@@ -173,15 +439,15 @@ class LoadBalancer:
             ),
         )
         if self.history is not None:
-            template = self.templates.get(request.template)
+            template = self.templates.get(client_request.template)
             accessed = template.table_set if template is not None else frozenset()
             self.history.add(
                 TxnRecord(
-                    request_id=request.request_id,
-                    template=request.template,
-                    session_id=request.session_id,
+                    request_id=client_request.request_id,
+                    template=client_request.template,
+                    session_id=client_request.session_id,
                     replica=response.replica,
-                    submit_time=request.submit_time,
+                    submit_time=client_request.submit_time,
                     ack_time=self.env.now,
                     committed=response.committed,
                     snapshot_version=response.snapshot_version,
@@ -192,34 +458,51 @@ class LoadBalancer:
                 )
             )
 
-    # -- fault handling -----------------------------------------------------
-    def replica_down(self, replica: str) -> None:
-        """Stop routing to a crashed replica and fail its in-flight requests.
+    def _respond_failure(self, request: ClientRequest, reason: str,
+                         replica: str) -> None:
+        self.network.send(
+            self.name,
+            request.reply_to,
+            ClientResponse(
+                request_id=request.request_id,
+                committed=False,
+                commit_version=None,
+                abort_reason=reason,
+                replica=replica,
+                stages=None,
+            ),
+        )
 
-        A request whose writeset was already certified may still commit
-        globally even though the client sees a failure — the inherent client
+    # -- fault handling -----------------------------------------------------
+    @property
+    def up_replicas(self) -> frozenset:
+        """Replicas the balancer currently considers routable."""
+        return frozenset(self._up)
+
+    def replica_down(self, replica: str) -> None:
+        """Stop routing to a failed/suspected replica.
+
+        With deadlines enabled, its in-flight requests go through the same
+        re-route / fate-resolution machinery a timeout triggers.  Without
+        them (the legacy injector path) they fail immediately; a request
+        whose writeset was already certified may then still commit globally
+        even though the client sees a failure — the inherent client
         uncertainty of the crash-recovery model; see DESIGN.md D5."""
         self._up.discard(replica)
-        failed = [
-            (rid, req)
-            for rid, (req, rep) in self._outstanding.items()
-            if rep == replica
+        affected = [
+            (rid, entry)
+            for rid, entry in self._outstanding.items()
+            if entry.replica == replica and not entry.fate_pending
         ]
-        for request_id, request in failed:
-            del self._outstanding[request_id]
-            self._active_count[replica] = max(0, self._active_count[replica] - 1)
-            self.network.send(
-                self.name,
-                request.reply_to,
-                ClientResponse(
-                    request_id=request_id,
-                    committed=False,
-                    commit_version=None,
-                    abort_reason=f"replica {replica} failed",
-                    replica=replica,
-                    stages=None,
-                ),
-            )
+        for request_id, entry in affected:
+            self._release_slot(entry)
+            if self.request_deadline_ms is not None:
+                self._handle_timeout(request_id, entry, f"replica {replica} suspected")
+            else:
+                del self._outstanding[request_id]
+                self._respond_failure(
+                    entry.client_request, f"replica {replica} failed", replica
+                )
 
     def replica_up(self, replica: str) -> None:
         """Resume routing to a recovered replica."""

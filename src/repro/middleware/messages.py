@@ -26,6 +26,14 @@ __all__ = [
     "GlobalCommitNotice",
     "RecoveryRequest",
     "RecoveryReply",
+    "HeartbeatPing",
+    "HeartbeatAck",
+    "FateQuery",
+    "FateReply",
+    "DecisionRecord",
+    "DecisionAck",
+    "CertifierSuspected",
+    "StandbyPromoted",
 ]
 
 _request_ids = itertools.count(1)
@@ -181,3 +189,101 @@ class RecoveryReply:
 
     replica: str
     entries: tuple  # tuple[tuple[int, WriteSet], ...]
+
+
+# ---------------------------------------------------------------------------
+# Self-healing protocol (failure detection, fate resolution, failover)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeartbeatPing:
+    """Monitor → monitored component: are you alive?
+
+    ``payload`` carries monitor-specific piggyback state — the certifier
+    puts its ``V_commit`` in pings to replicas so a replica that missed
+    refresh writesets (link partition) can detect the gap and ask for a
+    recovery replay.
+    """
+
+    sender: str
+    seq: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Monitored component → monitor: still alive.
+
+    ``payload`` is responder state piggybacked on the ack — replicas report
+    their durable version (the certifier re-admits them at it), the primary
+    certifier ships a state snapshot to its standby.
+    """
+
+    sender: str
+    seq: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class FateQuery:
+    """Load balancer → certifier: what happened to update ``request_id``?
+
+    Sent when an update transaction misses its deadline.  The certifier
+    answers from its decision log; if it has no decision it *fences* the
+    request id so a late certification cannot commit it afterwards — the
+    reply is then a safe, final abort.
+    """
+
+    request_id: int
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class FateReply:
+    """Certifier → load balancer: the resolved fate of an update.
+
+    ``committed`` with ``commit_version`` when the decision log holds the
+    commit; otherwise the request is fenced/aborted and may be retried.
+    """
+
+    request_id: int
+    committed: bool
+    commit_version: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """Primary certifier → standby: one appended decision-log entry
+    (state-machine replication of the certifier)."""
+
+    entry: Any  # durability.LogEntry; Any avoids a circular import
+
+
+@dataclass(frozen=True)
+class DecisionAck:
+    """Standby → primary certifier: the record is replicated; the decision
+    may be released (semi-synchronous log shipping)."""
+
+    commit_version: int
+
+
+@dataclass(frozen=True)
+class CertifierSuspected:
+    """Replica proxy → standby certifier: this proxy's heartbeats to the
+    primary timed out (``retract=True`` withdraws the vote after the primary
+    answers again).  The standby promotes itself on a majority of votes."""
+
+    voter: str
+    certifier: str
+    retract: bool = False
+
+
+@dataclass(frozen=True)
+class StandbyPromoted:
+    """New certifier → proxies, balancer, and the old primary: the standby
+    has promoted itself as ``certifier`` with failover ``epoch``.  Receivers
+    re-point, the old primary (if it ever hears it) halts."""
+
+    certifier: str
+    epoch: int

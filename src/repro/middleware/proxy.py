@@ -29,15 +29,20 @@ from ..sim.resources import Resource
 from ..storage.engine import StorageEngine
 from ..storage.transaction import Transaction
 from .clock import VersionClock
+from .heartbeat import HeartbeatMonitor, HeartbeatSettings
 from .lifecycle import CertifierUnavailable, ReplicaCrashed, TxnLifecycle
 from .messages import (
+    CertifierSuspected,
     CertifyReply,
     CommitApplied,
     GlobalCommitNotice,
+    HeartbeatAck,
+    HeartbeatPing,
     RecoveryReply,
     RecoveryRequest,
     RefreshWriteset,
     RoutedRequest,
+    StandbyPromoted,
     TxnResponse,
 )
 from .perfmodel import ReplicaPerformance
@@ -63,6 +68,10 @@ class ReplicaProxy:
         early_certification: bool = True,
         certify_reads: bool = False,
         vacuum_interval_ms: Optional[float] = None,
+        heartbeat: Optional[HeartbeatSettings] = None,
+        standby_name: Optional[str] = None,
+        certify_timeout_ms: Optional[float] = None,
+        gap_repair_cooldown_ms: float = 100.0,
     ):
         self.env = env
         self.network = network
@@ -112,6 +121,29 @@ class ReplicaProxy:
         self.aborted_count = 0
         self.refresh_applied_count = 0
         self.early_abort_count = 0
+        self.abandoned_count = 0
+        self.gap_repairs = 0
+
+        # Self-healing (all opt-in, see docs/PROTOCOL.md): a bound on the
+        # certify/global waits, and — when a standby exists — a heartbeat
+        # monitor over the certifier whose suspicions become promotion votes.
+        self.certify_timeout_ms = certify_timeout_ms
+        self.standby_name = standby_name
+        self.gap_repair_cooldown_ms = gap_repair_cooldown_ms
+        self.certifier_epoch = 1
+        self._last_gap_repair = float("-inf")
+        self.monitor: Optional[HeartbeatMonitor] = None
+        if heartbeat is not None and standby_name is not None:
+            self.monitor = HeartbeatMonitor(
+                env,
+                network,
+                owner=name,
+                targets=[certifier_name],
+                settings=heartbeat,
+                on_suspect=self._on_certifier_suspect,
+                on_restore=self._on_certifier_restore,
+                enabled=lambda: not self.crashed,
+            )
 
         self._loop = env.process(self._run(), name=f"{name}-loop")
         self._applier = env.process(self._apply_refreshes(), name=f"{name}-applier")
@@ -156,8 +188,89 @@ class ReplicaProxy:
                 self._receive_refresh(message)
             elif isinstance(message, RecoveryReply):
                 self._receive_recovery(message)
+            elif isinstance(message, HeartbeatPing):
+                self._handle_ping(message)
+            elif isinstance(message, HeartbeatAck):
+                if self.monitor is not None:
+                    self.monitor.observe_ack(message)
+            elif isinstance(message, StandbyPromoted):
+                self._handle_promotion(message)
             else:
                 raise TypeError(f"{self.name} got unexpected message {message!r}")
+
+    # -- failure detection -----------------------------------------------------
+    def _handle_ping(self, ping: HeartbeatPing) -> None:
+        """Answer a liveness probe; the ack reports our durable version so
+        the certifier can re-admit us at it after a suspicion."""
+        self.network.send(
+            self.name,
+            ping.sender,
+            HeartbeatAck(self.name, ping.seq, {"version": self.engine.version}),
+        )
+        if isinstance(ping.payload, dict):
+            # A ping from a newer-epoch certifier doubles as the promotion
+            # notice: the one-shot StandbyPromoted is lost if we were crashed
+            # or partitioned at promotion time, and without re-pointing every
+            # gap-repair request would go to the dead primary forever.
+            epoch = ping.payload.get("epoch")
+            if epoch is not None and epoch > self.certifier_epoch:
+                self._handle_promotion(StandbyPromoted(ping.sender, epoch))
+            commit_version = ping.payload.get("commit_version")
+            if commit_version is not None:
+                self._maybe_repair_gap(commit_version)
+
+    def _maybe_repair_gap(self, commit_version: int) -> None:
+        """Detect a refresh gap from the certifier's piggybacked V_commit.
+
+        A link partition (or a certify reply lost to a failover) can leave
+        this replica missing version ``v_local + 1`` with nothing in flight
+        to fill it — the applier would stall forever.  When the certifier is
+        ahead and we hold neither a pending refresh nor a reservation for
+        the next version, ask for a recovery replay.  The cooldown absorbs
+        the benign case where the refresh is merely still on the wire.
+        """
+        next_version = self.engine.version + 1
+        if commit_version <= self.engine.version:
+            return
+        if next_version in self._pending_refresh or next_version in self._reserved:
+            return
+        if self.env.now - self._last_gap_repair < self.gap_repair_cooldown_ms:
+            return
+        self._last_gap_repair = self.env.now
+        self.gap_repairs += 1
+        self.network.send(
+            self.name,
+            self.certifier_name,
+            RecoveryRequest(self.name, self.engine.version),
+        )
+
+    def _on_certifier_suspect(self, certifier: str) -> None:
+        """Vote for promotion: our heartbeats to the certifier time out."""
+        self.network.send(
+            self.name, self.standby_name, CertifierSuspected(self.name, certifier)
+        )
+
+    def _on_certifier_restore(self, certifier: str, _ack: HeartbeatAck) -> None:
+        """The certifier answered again: retract the vote."""
+        self.network.send(
+            self.name,
+            self.standby_name,
+            CertifierSuspected(self.name, certifier, retract=True),
+        )
+
+    def _handle_promotion(self, notice: StandbyPromoted) -> None:
+        """Re-point at the promoted certifier (stale epochs are ignored)."""
+        if notice.epoch <= self.certifier_epoch:
+            return
+        old = self.certifier_name
+        self.certifier_epoch = notice.epoch
+        self.certifier_name = notice.certifier
+        if self.monitor is not None:
+            self.monitor.replace_target(old, notice.certifier)
+        # Certifications in flight at the dead primary can never be
+        # answered; their outcome is inherently uncertain (the decision may
+        # sit in the successor's log), so the abort reason says so.
+        self.fail_pending_certifications(f"certifier failover to {notice.certifier}")
 
     # -- refresh handling ------------------------------------------------------
     def _receive_refresh(self, message: RefreshWriteset) -> None:
@@ -184,7 +297,14 @@ class ReplicaProxy:
         for version in [v for v in self._pending_refresh if v <= self.engine.version]:
             del self._pending_refresh[version]
         for version, writeset in message.entries:
-            if version > self.engine.version and version not in self._pending_refresh:
+            # Skip versions a local certified transaction has reserved: the
+            # gap-repair path can request a replay whose window overlaps our
+            # own pending commit, and applying it twice would fork V_local.
+            if (
+                version > self.engine.version
+                and version not in self._pending_refresh
+                and version not in self._reserved
+            ):
                 self._pending_refresh[version] = writeset
         self._wake_applier()
 
@@ -202,10 +322,34 @@ class ReplicaProxy:
                 self._applier_wakeup = None
                 continue
             next_version = self.engine.version + 1
-            if next_version in self._pending_refresh:
+            # A recovery replay can leave entries at or below V_local behind
+            # a local commit; drop them so they cannot pin memory.
+            for stale in [v for v in self._pending_refresh if v <= self.engine.version]:
+                del self._pending_refresh[stale]
+            if next_version in self._reserved:
+                # A certified local transaction owns this version; it will
+                # advance the clock when it commits.  Checked before the
+                # pending map: a gap-repair replay may also hold the version
+                # as a refresh, and the reservation must win or the commit
+                # would be applied twice.  The wait is also wakeable so a
+                # crash/recovery (which voids reservations and replays the
+                # version as a refresh) cannot strand us.
+                self._applier_wakeup = Event(self.env)
+                yield self.env.any_of(
+                    [self.clock.wait_for(next_version), self._applier_wakeup]
+                )
+                self._applier_wakeup = None
+            elif next_version in self._pending_refresh:
                 writeset = self._pending_refresh.pop(next_version)
                 yield from self.cpu.use(self.perf.refresh(len(writeset)))
                 if self.crashed:
+                    continue
+                if self.engine.version >= next_version or next_version in self._reserved:
+                    # While the apply held the CPU, a certify reply assigned
+                    # this very version to a local transaction (a recovery
+                    # replay racing an in-flight certification).  The local
+                    # commit owns the version; applying the replayed copy on
+                    # top would be a duplicate and kill the applier.
                     continue
                 self.engine.apply_refresh(writeset, next_version)
                 self.refresh_applied_count += 1
@@ -214,16 +358,6 @@ class ReplicaProxy:
                 self._pending_refresh.pop(next_version, None)
                 self.clock.advance_to(next_version)
                 self._send_commit_applied(next_version, len(writeset))
-            elif next_version in self._reserved:
-                # A certified local transaction owns this version; it will
-                # advance the clock when it commits.  The wait is also
-                # wakeable so a crash/recovery (which voids reservations and
-                # replays the version as a refresh) cannot strand us.
-                self._applier_wakeup = Event(self.env)
-                yield self.env.any_of(
-                    [self.clock.wait_for(next_version), self._applier_wakeup]
-                )
-                self._applier_wakeup = None
             else:
                 self._applier_wakeup = Event(self.env)
                 yield self._applier_wakeup

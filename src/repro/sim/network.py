@@ -58,9 +58,11 @@ class Mailbox:
 
 @dataclass
 class _Partition:
-    """Set of endpoint names currently unreachable (for fault injection)."""
+    """Endpoints currently crashed, plus directed links currently cut."""
 
     down: set = field(default_factory=set)
+    #: directed links ``(sender, recipient)`` whose messages are dropped
+    links: set = field(default_factory=set)
 
 
 class Network:
@@ -68,9 +70,18 @@ class Network:
 
     Components register a :class:`Mailbox` under a unique name and send
     messages with :meth:`send`; delivery happens after a sampled latency.
-    Endpoints can be taken down (crash-recovery failure model): messages to a
-    down endpoint are silently dropped, messages *from* a down endpoint are
-    refused at the call site by the component itself.
+    Two fault models compose:
+
+    * **endpoint down** (crash-recovery): inbound messages to a down
+      endpoint are dropped; messages *from* a down endpoint are refused at
+      the call site by the component itself.
+    * **link partition**: a directed link ``sender → recipient`` can be cut
+      independently of the reverse direction (asymmetric partitions);
+      messages on a cut link are dropped, including messages already in
+      flight when the link is cut.
+
+    In both cases senders learn of the failure only through timeouts at a
+    higher layer, as in the failure model the paper assumes.
     """
 
     def __init__(self, env: Environment, rng: Rng, latency: Optional[LatencyModel] = None):
@@ -108,6 +119,31 @@ class Network:
     def is_down(self, name: str) -> bool:
         return name in self._partition.down
 
+    def partition_link(self, sender: str, recipient: str, symmetric: bool = False) -> None:
+        """Cut the directed link ``sender → recipient`` (and the reverse
+        direction too when ``symmetric``)."""
+        self._partition.links.add((sender, recipient))
+        if symmetric:
+            self._partition.links.add((recipient, sender))
+
+    def heal_link(self, sender: str, recipient: str, symmetric: bool = False) -> None:
+        """Restore a previously cut link."""
+        self._partition.links.discard((sender, recipient))
+        if symmetric:
+            self._partition.links.discard((recipient, sender))
+
+    def heal_all_links(self) -> None:
+        """Restore every cut link."""
+        self._partition.links.clear()
+
+    def is_link_partitioned(self, sender: str, recipient: str) -> bool:
+        return (sender, recipient) in self._partition.links
+
+    @property
+    def partitioned_links(self) -> frozenset:
+        """Snapshot of the currently cut directed links."""
+        return frozenset(self._partition.links)
+
     # -- observation ---------------------------------------------------------
     def add_tap(self, tap: Callable[[str, str, Any], None]) -> None:
         """Register an observer called as ``tap(sender, recipient, message)``
@@ -127,16 +163,17 @@ class Network:
         for tap in self._taps:
             tap(sender, recipient, message)
         self.sent_count += 1
-        if recipient in self._partition.down:
+        if recipient in self._partition.down or (sender, recipient) in self._partition.links:
             self.dropped_count += 1
             return
         delay = self.latency.sample(self.rng)
         mailbox = self._mailboxes[recipient]
 
-        def _deliver(_event, mailbox=mailbox, message=message, recipient=recipient):
-            # Re-check at delivery time: the endpoint may have crashed while
-            # the message was in flight.
-            if recipient in self._partition.down:
+        def _deliver(_event, mailbox=mailbox, message=message,
+                     sender=sender, recipient=recipient):
+            # Re-check at delivery time: the endpoint may have crashed, or
+            # the link been cut, while the message was in flight.
+            if recipient in self._partition.down or (sender, recipient) in self._partition.links:
                 self.dropped_count += 1
                 return
             mailbox.deliver(message)

@@ -19,7 +19,33 @@ from ..sim.network import Network
 from ..sim.rng import RngRegistry
 from .base import Workload
 
-__all__ = ["ClientPool"]
+__all__ = ["ClientPool", "backoff_delay_ms"]
+
+
+def backoff_delay_ms(
+    base_ms: float,
+    attempt: int,
+    rng=None,
+    multiplier: float = 2.0,
+    cap_ms: float = 100.0,
+    jitter: float = 0.5,
+) -> float:
+    """Exponential retry backoff with jitter and a cap.
+
+    ``base_ms * multiplier**(attempt-1)``, capped at ``cap_ms``, then
+    reduced by up to ``jitter`` (fraction) of itself — full-jitter style, so
+    a burst of clients aborted by the same conflict doesn't retry in
+    lockstep and recreate the conflict.  ``attempt`` counts from 1 (the
+    first retry).
+    """
+    if attempt < 1:
+        raise ValueError("attempt counts from 1")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be within [0, 1]")
+    delay = min(base_ms * multiplier ** (attempt - 1), cap_ms)
+    if rng is not None and jitter > 0:
+        delay *= 1.0 - jitter * rng.random()
+    return delay
 
 
 class ClientPool:
@@ -35,6 +61,9 @@ class ClientPool:
         rngs: Optional[RngRegistry] = None,
         retry_aborts: bool = False,
         retry_backoff_ms: float = 5.0,
+        retry_backoff_multiplier: float = 2.0,
+        retry_backoff_cap_ms: float = 100.0,
+        retry_jitter: float = 0.5,
     ):
         self.env = env
         self.network = network
@@ -43,7 +72,11 @@ class ClientPool:
         self.balancer_name = balancer_name
         self.rngs = rngs if rngs is not None else RngRegistry(0)
         self.retry_aborts = retry_aborts
+        #: base of the exponential backoff (first retry waits about this)
         self.retry_backoff_ms = retry_backoff_ms
+        self.retry_backoff_multiplier = retry_backoff_multiplier
+        self.retry_backoff_cap_ms = retry_backoff_cap_ms
+        self.retry_jitter = retry_jitter
         self.client_ids: list[str] = []
         self.completed = 0
 
@@ -63,6 +96,9 @@ class ClientPool:
     def _client_loop(self, client_id: str, mailbox):
         mix_rng = self.rngs.stream(f"{client_id}:mix")
         think_rng = self.rngs.stream(f"{client_id}:think")
+        # Backoff jitter draws from its own stream so enabling retries does
+        # not perturb the mix/think sequences of any client.
+        backoff_rng = self.rngs.stream(f"{client_id}:backoff")
         catalog = self.workload.catalog()
         while True:
             call = self.workload.next_call(client_id, mix_rng)
@@ -95,7 +131,16 @@ class ClientPool:
                 )
                 if response.committed or not self.retry_aborts:
                     break
-                yield self.env.timeout(self.retry_backoff_ms)
+                yield self.env.timeout(
+                    backoff_delay_ms(
+                        self.retry_backoff_ms,
+                        attempts,
+                        rng=backoff_rng,
+                        multiplier=self.retry_backoff_multiplier,
+                        cap_ms=self.retry_backoff_cap_ms,
+                        jitter=self.retry_jitter,
+                    )
+                )
             think = self.workload.think_time_ms(client_id, think_rng)
             if think > 0:
                 yield self.env.timeout(think)

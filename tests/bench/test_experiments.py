@@ -68,3 +68,24 @@ class TestFig3Tiny:
         eager = result.value(ConsistencyLevel.EAGER.label, 100)
         session = result.value(ConsistencyLevel.SESSION.label, 100)
         assert eager < 0.8 * session
+
+
+class TestAvailability:
+    def test_reports_detection_dip_and_recovery(self):
+        from repro.bench import availability
+
+        result = availability(quick=True, seed=0)
+        assert set(result.measurements) == {"SC-FINE", "EAGER"}
+        for m in result.measurements.values():
+            # Heartbeats found the crash: interval 20 ms, threshold 3.
+            assert 0.0 < m.detection_latency_ms <= 200.0
+            assert m.baseline_tps > 0
+            assert 0.0 <= m.dip_depth_pct <= 100.0
+        # The paper's availability story: the eager protocol stalls updates
+        # on the dead replica until exclusion, so it dips deeper than the
+        # lazy strong level.
+        fine = result.measurements["SC-FINE"]
+        eager = result.measurements["EAGER"]
+        assert eager.dip_depth_pct > fine.dip_depth_pct
+        rendered = result.render()
+        assert "detect (ms)" in rendered and "SC-FINE" in rendered

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase
@@ -9,6 +13,38 @@ from repro.metrics import MetricsCollector
 from repro.sim import Environment, RngRegistry
 from repro.storage import Column, StorageEngine, TableSchema
 from repro.workloads import MicroBenchmark
+
+#: Per-test wall-clock budget (seconds).  A discrete-event simulation that
+#: deadlocks spins in the event loop forever; the alarm turns a hung CI
+#: workflow into a fast, attributable failure.
+TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    # SIGALRM only exists on POSIX and only works on the main thread;
+    # anywhere else the guard degrades to a no-op rather than breaking.
+    usable = (
+        TEST_TIMEOUT_S > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {TEST_TIMEOUT_S}s global test timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

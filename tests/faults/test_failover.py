@@ -1,0 +1,147 @@
+"""Automatic certifier failover and update-fate resolution.
+
+The standby tails the decision log over the network; when a majority of
+replica proxies report their heartbeats to the primary timing out, it
+promotes itself under a higher epoch.  The load balancer resolves the fate
+of timed-out updates through the (surviving) certifier's decision log, so
+an acknowledged commit is never doubled and never lost.
+"""
+
+import pytest
+
+from repro import ClusterConfig, ReplicatedDatabase
+from repro.faults import FaultInjector
+from repro.histories.checkers import strong_consistency_violations
+from repro.workloads import MicroBenchmark
+
+
+def standby_cluster(seed=7, clients=6, **overrides):
+    overrides.setdefault("num_replicas", 3)
+    config = ClusterConfig.self_healing(seed=seed, level="sc-fine", **overrides)
+    cluster = ReplicatedDatabase(
+        MicroBenchmark(update_types=20, rows_per_table=100), config
+    )
+    collector = cluster.add_clients(clients, retry_aborts=True)
+    return cluster, collector
+
+
+class TestStandbyTailing:
+    def test_standby_tracks_the_decision_log(self):
+        cluster, _ = standby_cluster()
+        cluster.run(600.0)
+        standby = cluster.standby
+        assert standby.records_applied > 0
+        # Semi-synchronous shipping keeps the lag at most the in-flight
+        # window; quiescing closes it completely.
+        cluster.quiesce()
+        assert standby.replicated_version == cluster.certifier.commit_version
+
+    def test_standby_does_not_promote_unprovoked(self):
+        cluster, _ = standby_cluster()
+        cluster.run(1_000.0)
+        assert not cluster.standby.promoted
+        assert cluster.standby.votes == frozenset()
+
+
+class TestAutomaticPromotion:
+    def test_certifier_kill_promotes_standby(self):
+        cluster, _ = standby_cluster()
+        cluster.run(500.0)
+        old = cluster.certifier
+        killed_at = cluster.env.now
+        injector = FaultInjector(cluster)
+        injector.kill_certifier()
+        cluster.run(1_500.0)
+        standby = cluster.standby
+        assert standby.promoted
+        assert standby.promoted_at > killed_at
+        successor = cluster.certifier
+        assert successor is not old
+        assert successor.name == "certifier-2"
+        assert successor.epoch == 2
+        # The successor's log contains every decision the primary released.
+        assert successor.commit_version >= standby.replicated_version
+
+    def test_commits_continue_after_automatic_failover(self):
+        cluster, collector = standby_cluster()
+        cluster.run(500.0)
+        FaultInjector(cluster).kill_certifier()
+        cluster.run(800.0)
+        marker = cluster.commit_version
+        cluster.run(2_000.0)
+        assert cluster.commit_version > marker
+        assert strong_consistency_violations(cluster.history) == []
+
+    def test_no_acknowledged_commit_lost_across_failover(self):
+        cluster, _ = standby_cluster()
+        cluster.run(500.0)
+        FaultInjector(cluster).kill_certifier()
+        cluster.run(2_000.0)
+        cluster.quiesce(max_wait_ms=60_000.0)
+        balancer = cluster.load_balancer
+        certifier = cluster.certifier
+        committed = [
+            r for r in balancer.history.records
+            if r.committed and r.commit_version is not None
+        ]
+        assert committed
+        for record in committed:
+            attempts = balancer.retry_lineage.get(
+                record.request_id, [record.request_id]
+            )
+            assert any(
+                certifier.decision_for(a) == record.commit_version
+                for a in attempts
+            )
+
+    def test_fenced_requests_never_commit(self):
+        cluster, _ = standby_cluster()
+        cluster.run(500.0)
+        FaultInjector(cluster).kill_certifier()
+        cluster.run(2_000.0)
+        certifier = cluster.certifier
+        for fenced in cluster.load_balancer.fenced_request_ids:
+            assert certifier.decision_for(fenced) is None
+
+
+class TestManualFailover:
+    """The injector's one-shot failover uses the same public state-transfer
+    API as automatic promotion (no private-attribute pokes)."""
+
+    def test_snapshot_restore_round_trip(self):
+        cluster, _ = standby_cluster()
+        cluster.run(400.0)
+        state = cluster.certifier.snapshot_state()
+        assert set(state) == {"replicas", "applied", "departed"}
+        assert sorted(state["replicas"]) == sorted(cluster.replica_names)
+
+    def test_manual_failover_bumps_epoch_and_continues(self):
+        cluster, _ = standby_cluster()
+        injector = FaultInjector(cluster)
+        cluster.run(400.0)
+        old_epoch = cluster.certifier.epoch
+        successor = injector.failover_certifier()
+        assert cluster.certifier is successor
+        assert successor.epoch == old_epoch + 1
+        before = cluster.commit_version
+        cluster.run(1_500.0)
+        assert cluster.commit_version > before
+
+
+class TestInjectorValidation:
+    def test_crash_unknown_replica_lists_known_names(self):
+        cluster, _ = standby_cluster()
+        injector = FaultInjector(cluster)
+        with pytest.raises(ValueError) as excinfo:
+            injector.crash_replica("replica-9")
+        message = str(excinfo.value)
+        assert "replica-9" in message
+        for name in cluster.replica_names:
+            assert name in message
+
+    def test_recover_unknown_replica_lists_known_names(self):
+        cluster, _ = standby_cluster()
+        injector = FaultInjector(cluster)
+        with pytest.raises(ValueError) as excinfo:
+            injector.recover_replica("nonesuch")
+        assert "known replicas" in str(excinfo.value)

@@ -248,9 +248,23 @@ class TestFaultPaths:
         env.run()
         assert len(drain(mailboxes["replica-0"])) == 1
 
-    def test_all_replicas_down_is_an_error(self, env, setup):
+    def test_all_replicas_down_fails_requests_gracefully(self, env, setup):
+        # The balancer must survive a total outage: requests are answered
+        # with a failure instead of crashing the routing loop, so routing
+        # can resume once a replica comes back.
         network, mailboxes, client, balancer = setup()
         balancer.replica_down("replica-0")
         balancer.replica_down("replica-1")
-        with pytest.raises(RuntimeError):
-            balancer._pick_replica()
+        assert balancer._pick_replica() is None
+        network.send("client-x", "lb", request(env, request_id=1))
+        env.run()
+        replies = drain(client)
+        assert len(replies) == 1
+        assert not replies[0].committed
+        assert "no replicas available" in replies[0].abort_reason
+        assert balancer.rejected_count == 1
+        # Recovery restores routing.
+        balancer.replica_up("replica-0")
+        network.send("client-x", "lb", request(env, request_id=2))
+        env.run()
+        assert len(drain(mailboxes["replica-0"])) == 1

@@ -58,3 +58,48 @@ class TestClientPool:
         # of the same template from the same virtual client; total committed
         # work continues after aborts.
         assert collector.samples[-1].committed or aborted
+
+
+class TestBackoffDelay:
+    def test_growth_is_exponential_in_attempts(self):
+        from repro.workloads.clients import backoff_delay_ms
+
+        delays = [backoff_delay_ms(5.0, attempt, rng=None) for attempt in (1, 2, 3, 4)]
+        assert delays == [5.0, 10.0, 20.0, 40.0]
+
+    def test_cap_bounds_the_delay(self):
+        from repro.workloads.clients import backoff_delay_ms
+
+        assert backoff_delay_ms(5.0, 10, rng=None, cap_ms=100.0) == 100.0
+        assert backoff_delay_ms(5.0, 50, rng=None, cap_ms=100.0) == 100.0
+
+    def test_jitter_spreads_but_never_exceeds_undithered_delay(self):
+        from repro.sim.rng import RngRegistry
+        from repro.workloads.clients import backoff_delay_ms
+
+        rng = RngRegistry(42).stream("jitter")
+        delays = {backoff_delay_ms(5.0, 3, rng=rng, jitter=0.5) for _ in range(50)}
+        assert len(delays) > 1  # actually jittered
+        assert all(10.0 <= d <= 20.0 for d in delays)  # within [half, full]
+
+    def test_zero_jitter_is_deterministic(self):
+        from repro.sim.rng import RngRegistry
+        from repro.workloads.clients import backoff_delay_ms
+
+        rng = RngRegistry(42).stream("jitter")
+        assert backoff_delay_ms(5.0, 2, rng=rng, jitter=0.0) == 10.0
+
+    def test_invalid_arguments_rejected(self):
+        from repro.workloads.clients import backoff_delay_ms
+
+        with pytest.raises(ValueError):
+            backoff_delay_ms(5.0, 0)
+        with pytest.raises(ValueError):
+            backoff_delay_ms(5.0, 1, jitter=1.5)
+
+    def test_client_pool_uses_backoff_stream(self):
+        cluster, _ = cluster_with_clients(2, retry_aborts=True)
+        pool = cluster.client_pool
+        assert pool.retry_backoff_ms == 5.0
+        assert pool.retry_backoff_multiplier == 2.0
+        assert pool.retry_backoff_cap_ms == 100.0
