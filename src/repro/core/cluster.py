@@ -76,6 +76,18 @@ class ClusterConfig:
     routing: str = "least-active"
     #: periodic MVCC garbage collection at each replica (None = off)
     vacuum_interval_ms: Optional[float] = None
+    #: conflict detection at the certifier: "index" (last-writer version
+    #: index, O(|writeset|) per certification — the default) or "scan" (the
+    #: reference linear window scan, kept for differential testing); both
+    #: produce byte-identical decisions
+    certification_mode: str = "index"
+    #: drain maximal runs of consecutive pending refresh versions into one
+    #: engine apply pass (group refresh) instead of one CPU round-trip per
+    #: version; off by default to keep the per-version timing model (and
+    #: the golden equivalence runs) unchanged
+    batch_refresh_apply: bool = False
+    #: longest run of versions one batched apply pass may drain
+    refresh_batch_limit: int = 32
     # -- self-healing (all off by default; see docs/PROTOCOL.md) -----------
     #: heartbeat period for failure detection (None = no heartbeats: faults
     #: are only visible through explicit injector calls, as before)
@@ -102,6 +114,13 @@ class ClusterConfig:
             raise ValueError("request_deadline_ms must be positive")
         if self.certify_timeout_ms is not None and self.certify_timeout_ms <= 0:
             raise ValueError("certify_timeout_ms must be positive")
+        if self.certification_mode not in ("index", "scan"):
+            raise ValueError(
+                "certification_mode must be 'index' or 'scan', "
+                f"got {self.certification_mode!r}"
+            )
+        if self.refresh_batch_limit < 1:
+            raise ValueError("refresh_batch_limit must be >= 1")
 
     @classmethod
     def self_healing(cls, **overrides) -> "ClusterConfig":
@@ -179,6 +198,8 @@ class ReplicatedDatabase:
                 heartbeat=heartbeat,
                 standby_name=standby_name,
                 certify_timeout_ms=config.certify_timeout_ms,
+                batch_refresh_apply=config.batch_refresh_apply,
+                refresh_batch_limit=config.refresh_batch_limit,
             )
 
         self.certifier = Certifier(
@@ -190,6 +211,7 @@ class ReplicatedDatabase:
             log=DecisionLog(config.log_path),
             heartbeat=heartbeat,
             standby_name=standby_name,
+            certification_mode=config.certification_mode,
         )
         self.load_balancer = LoadBalancer(
             env=self.env,
@@ -218,6 +240,7 @@ class ReplicatedDatabase:
                 name=standby_name,
                 heartbeat=heartbeat,
                 promote_hook=self._adopt_certifier,
+                certification_mode=config.certification_mode,
             )
         self._session_counter = 0
         self.client_pool: Optional[ClientPool] = None
@@ -301,6 +324,8 @@ class ReplicatedDatabase:
             "certification_aborts": self.certifier.abort_count,
             "certifier_name": self.certifier.name,
             "certifier_epoch": self.certifier.epoch,
+            "certification_mode": self.certifier.certification_mode,
+            "row_comparisons": self.certifier.row_comparisons,
             "balancer": {
                 "v_system": self.load_balancer.v_system,
                 "outstanding": self.load_balancer.outstanding_count,

@@ -6,6 +6,7 @@ engine) → certifier.
 """
 
 from .certifier import Certifier
+from .certindex import CertificationIndex
 from .clock import VersionClock
 from .context import TxnContext
 from .durability import DecisionLog, LogEntry
@@ -38,6 +39,7 @@ from .proxy import ReplicaProxy
 from .standby import CertifierStandby
 
 __all__ = [
+    "CertificationIndex",
     "Certifier",
     "CertifierPerformance",
     "CertifierStandby",

@@ -44,6 +44,7 @@ from ..core.policy import resolve_policy
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from ..sim.resources import Resource
+from .certindex import CertificationIndex
 from .durability import DecisionLog, LogEntry
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
 from .messages import (
@@ -82,7 +83,13 @@ class Certifier:
         standby_name: Optional[str] = None,
         standby_ack_timeout_ms: float = 10.0,
         epoch: int = 1,
+        certification_mode: str = "index",
     ):
+        if certification_mode not in ("index", "scan"):
+            raise ValueError(
+                f"certification_mode must be 'index' or 'scan', "
+                f"got {certification_mode!r}"
+            )
         self.env = env
         self.network = network
         self.perf = perf
@@ -92,6 +99,17 @@ class Certifier:
         self.level = self.policy.level
         self.name = name
         self.log = log if log is not None else DecisionLog()
+        #: "index" (last-writer version index, O(|writeset| + |readset|)) or
+        #: "scan" (the reference linear window scan, kept for differential
+        #: testing); both produce byte-identical decisions.
+        self.certification_mode = certification_mode
+        #: the certification index, rebuilt from whatever log we start with
+        #: (a promoted standby passes its tailed state-machine copy here)
+        self._index: Optional[CertificationIndex] = (
+            CertificationIndex.from_log(self.log)
+            if certification_mode == "index"
+            else None
+        )
         self.mailbox: Mailbox = network.register(name)
         self._service = Resource(env, capacity=1)
         # Replica progress: newest version each replica reported applied.
@@ -127,6 +145,9 @@ class Certifier:
         # Counters for tests/metrics.
         self.certified_count = 0
         self.abort_count = 0
+        #: row comparisons performed by conflict detection (both modes);
+        #: the scaling bench and CI perf smoke key on this, not wall-clock
+        self.row_comparisons = 0
         self.fenced_aborts = 0
         self.fate_queries = 0
         self.standby_sync_timeouts = 0
@@ -170,9 +191,21 @@ class Certifier:
         """Drop log entries below the replication horizon.
 
         Safe by construction: no live or departed replica can need a replay
-        below its own applied version.  Returns entries dropped.
+        below its own applied version.  The certification index garbage-
+        collects in lockstep: the versions leaving the log leave the per-key
+        writer lists too (conservative aborts for snapshots older than the
+        truncation point keep decisions identical in both modes).  Returns
+        entries dropped.
         """
-        return self.log.truncate_to(self.replication_horizon())
+        horizon = self.replication_horizon()
+        if self._index is not None and self.log.truncation_version < horizon:
+            high = min(horizon, self.log.last_version)
+            dropped = [
+                self.log.entry(version)
+                for version in range(self.log.truncation_version + 1, high + 1)
+            ]
+            self._index.truncate_to(horizon, dropped)
+        return self.log.truncate_to(horizon)
 
     def decision_for(self, request_id: int) -> Optional[int]:
         """The commit version logged for ``request_id`` (None = no commit).
@@ -194,13 +227,28 @@ class Certifier:
             "replicas": list(self.replica_names),
             "applied": dict(self.applied_versions),
             "departed": dict(self._departed_versions),
+            "certification_mode": self.certification_mode,
         }
 
     def restore_state(self, state: dict) -> None:
-        """Adopt a peer's :meth:`snapshot_state` (standby promotion)."""
+        """Adopt a peer's :meth:`snapshot_state` (standby promotion).
+
+        The certification index is never shipped — it is derived state and
+        is rebuilt here from our own decision log (which, on a promotion, is
+        the tailed state-machine copy of the primary's), so the successor's
+        decisions match the primary's exactly.
+        """
         self.replica_names = list(state["replicas"])
         self.applied_versions = dict(state["applied"])
         self._departed_versions = dict(state["departed"])
+        mode = state.get("certification_mode")
+        if mode is not None:
+            self.certification_mode = mode
+        self._index = (
+            CertificationIndex.from_log(self.log)
+            if self.certification_mode == "index"
+            else None
+        )
         if self.monitor is not None:
             for replica in self.replica_names:
                 self.monitor.add_target(replica)
@@ -300,6 +348,8 @@ class Certifier:
             request_id=request.request_id,
         )
         self.log.append(entry)
+        if self._index is not None:
+            self._index.record(version, request.writeset)
         self.certified_count += 1
         self._request_index[request.request_id] = version
         if self.policy.tracks_global_commit:
@@ -360,20 +410,47 @@ class Certifier:
         mode), a committed write to any row the transaction *read* also
         conflicts — backward validation, which makes the global history
         one-copy serializable at the cost of extra aborts.
+
+        Two implementations behind one contract: the last-writer
+        certification index (O(|writeset| + |readset|), the default) and
+        the reference window scan (O(window × rows), kept selectable via
+        ``certification_mode="scan"`` for differential testing).  The
+        differential property tests hold them to byte-identical decisions —
+        same commit versions, same ``conflict_with`` abort causes.
         """
         low = request.snapshot_version
-        high = self.commit_version
         if low < self.log.truncation_version:
             # The conflict window reaches into the truncated prefix: absence
             # of conflicts cannot be proven, so abort conservatively.  Only
             # transactions on extraordinarily stale snapshots hit this.
             return low + 1
+        if self._index is not None:
+            return self._find_conflict_index(request, low)
+        return self._find_conflict_scan(request, low)
+
+    def _find_conflict_index(
+        self, request: CertifyRequest, low: int
+    ) -> Optional[int]:
+        slots = request.writeset.slots
+        if request.readset:
+            slots = slots | request.readset
+        before = self._index.probes
+        conflict = self._index.first_conflict(slots, low)
+        self.row_comparisons += self._index.probes - before
+        return conflict
+
+    def _find_conflict_scan(
+        self, request: CertifyRequest, low: int
+    ) -> Optional[int]:
+        high = self.commit_version
         for version in range(low + 1, high + 1):
             committed = self.log.entry(version).writeset
+            self.row_comparisons += min(len(committed), len(request.writeset))
             if committed.conflicts_with(request.writeset):
                 return version
             if request.readset:
                 for op in committed:
+                    self.row_comparisons += 1
                     if (op.table, op.key) in request.readset:
                         return version
         return None

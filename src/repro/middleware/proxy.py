@@ -20,6 +20,7 @@ fronted by a proxy.  The proxy:
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Optional
 
 from ..core.policy import resolve_policy
@@ -72,7 +73,11 @@ class ReplicaProxy:
         standby_name: Optional[str] = None,
         certify_timeout_ms: Optional[float] = None,
         gap_repair_cooldown_ms: float = 100.0,
+        batch_refresh_apply: bool = False,
+        refresh_batch_limit: int = 32,
     ):
+        if refresh_batch_limit < 1:
+            raise ValueError("refresh_batch_limit must be >= 1")
         self.env = env
         self.network = network
         self.name = name
@@ -101,8 +106,17 @@ class ReplicaProxy:
         self.clock = VersionClock(env, initial=engine.version)
         self.crashed = False
 
-        # Refresh writesets received but not applied yet, by version.
+        # Group refresh: drain runs of consecutive pending versions into one
+        # engine apply pass instead of one CPU round-trip per version.
+        self.batch_refresh_apply = batch_refresh_apply
+        self.refresh_batch_limit = refresh_batch_limit
+
+        # Refresh writesets received but not applied yet, by version, plus a
+        # min-heap over the pending versions so stale entries (at or below
+        # V_local after a recovery replay) are purged from the front in
+        # O(log n) instead of rescanning the dict on every message.
         self._pending_refresh: dict[int, Any] = {}
+        self._pending_versions: list[int] = []
         # Versions reserved for local certified transactions.
         self._reserved: set[int] = set()
         # Active local transactions still executing (pre-certification),
@@ -120,6 +134,7 @@ class ReplicaProxy:
         self.committed_count = 0
         self.aborted_count = 0
         self.refresh_applied_count = 0
+        self.refresh_batches = 0
         self.early_abort_count = 0
         self.abandoned_count = 0
         self.gap_repairs = 0
@@ -276,7 +291,7 @@ class ReplicaProxy:
     def _receive_refresh(self, message: RefreshWriteset) -> None:
         if message.commit_version <= self.engine.version:
             return  # duplicate (possible after recovery replay)
-        self._pending_refresh[message.commit_version] = message.writeset
+        self._enqueue_refresh(message.commit_version, message.writeset)
         # Arrival-side early certification: doom conflicting active locals.
         if self.early_certification:
             for txn in list(self._executing.values()):
@@ -294,8 +309,7 @@ class ReplicaProxy:
         # drop anything at or below the current version first so a stale
         # entry cannot linger in the pending map (it would never match
         # ``engine.version + 1`` and would pin memory forever).
-        for version in [v for v in self._pending_refresh if v <= self.engine.version]:
-            del self._pending_refresh[version]
+        self._purge_stale_refreshes()
         for version, writeset in message.entries:
             # Skip versions a local certified transaction has reserved: the
             # gap-repair path can request a replay whose window overlaps our
@@ -305,8 +319,25 @@ class ReplicaProxy:
                 and version not in self._pending_refresh
                 and version not in self._reserved
             ):
-                self._pending_refresh[version] = writeset
+                self._enqueue_refresh(version, writeset)
         self._wake_applier()
+
+    def _enqueue_refresh(self, version: int, writeset) -> None:
+        if version not in self._pending_refresh:
+            heappush(self._pending_versions, version)
+        self._pending_refresh[version] = writeset
+
+    def _purge_stale_refreshes(self) -> None:
+        """Drop pending entries at or below ``V_local``.
+
+        The heap tracks the minimum pending version, so the purge touches
+        only the stale front (plus already-applied leftovers, which the
+        lazy ``pop`` discards) — no dict rescan per message or loop turn.
+        """
+        heap = self._pending_versions
+        current = self.engine.version
+        while heap and heap[0] <= current:
+            self._pending_refresh.pop(heappop(heap), None)
 
     def _wake_applier(self) -> None:
         if self._applier_wakeup is not None and not self._applier_wakeup.triggered:
@@ -324,8 +355,7 @@ class ReplicaProxy:
             next_version = self.engine.version + 1
             # A recovery replay can leave entries at or below V_local behind
             # a local commit; drop them so they cannot pin memory.
-            for stale in [v for v in self._pending_refresh if v <= self.engine.version]:
-                del self._pending_refresh[stale]
+            self._purge_stale_refreshes()
             if next_version in self._reserved:
                 # A certified local transaction owns this version; it will
                 # advance the clock when it commits.  Checked before the
@@ -340,28 +370,74 @@ class ReplicaProxy:
                 )
                 self._applier_wakeup = None
             elif next_version in self._pending_refresh:
-                writeset = self._pending_refresh.pop(next_version)
-                yield from self.cpu.use(self.perf.refresh(len(writeset)))
+                batch = self._drain_refresh_run(next_version)
+                if len(batch) == 1:
+                    # One version pending: identical CPU pricing (and RNG
+                    # draw) to the unbatched path, so enabling batching is
+                    # behaviour-neutral until a backlog actually forms.
+                    service = self.perf.refresh(len(batch[0][1]))
+                else:
+                    total_ops = sum(len(ws) for _, ws in batch)
+                    service = self.perf.refresh_batch(len(batch), total_ops)
+                    self.refresh_batches += 1
+                yield from self.cpu.use(service)
                 if self.crashed:
                     continue
-                if self.engine.version >= next_version or next_version in self._reserved:
-                    # While the apply held the CPU, a certify reply assigned
-                    # this very version to a local transaction (a recovery
-                    # replay racing an in-flight certification).  The local
-                    # commit owns the version; applying the replayed copy on
-                    # top would be a duplicate and kill the applier.
-                    continue
-                self.engine.apply_refresh(writeset, next_version)
-                self.refresh_applied_count += 1
-                # A duplicate of this version may have arrived while the
-                # apply held the CPU; drop it so it cannot linger.
-                self._pending_refresh.pop(next_version, None)
-                self.clock.advance_to(next_version)
-                self._send_commit_applied(next_version, len(writeset))
+                self._apply_refresh_run(batch)
             else:
                 self._applier_wakeup = Event(self.env)
                 yield self._applier_wakeup
                 self._applier_wakeup = None
+
+    def _drain_refresh_run(self, next_version: int) -> list:
+        """Pop the maximal run of consecutive pending versions starting at
+        ``next_version`` (a single version when batching is off).  The run
+        stops at a gap, at a version reserved by a local certified
+        transaction (the local commit owns it), or at the batch limit."""
+        batch = [(next_version, self._pending_refresh.pop(next_version))]
+        if self.batch_refresh_apply:
+            version = next_version + 1
+            while (
+                len(batch) < self.refresh_batch_limit
+                and version in self._pending_refresh
+                and version not in self._reserved
+            ):
+                batch.append((version, self._pending_refresh.pop(version)))
+                version += 1
+        return batch
+
+    def _apply_refresh_run(self, batch: list) -> None:
+        """Install a drained run in one engine pass, re-validating each
+        version against what happened while the apply held the CPU."""
+        for position, (version, writeset) in enumerate(batch):
+            if self.crashed:
+                return
+            if self.engine.version >= version:
+                # Applied while the CPU was held (e.g. a recovery replay
+                # raced a local commit that already owned the version).
+                continue
+            if version in self._reserved:
+                # While the apply held the CPU, a certify reply assigned
+                # this version to a local transaction (a recovery replay
+                # racing an in-flight certification).  The local commit owns
+                # the version; applying the drained copy on top would be a
+                # duplicate and kill the applier.  The rest of the run must
+                # wait behind that commit — put it back in the pending map.
+                for later, later_ws in batch[position:]:
+                    if (
+                        later > self.engine.version
+                        and later not in self._reserved
+                        and later not in self._pending_refresh
+                    ):
+                        self._enqueue_refresh(later, later_ws)
+                return
+            self.engine.apply_refresh(writeset, version)
+            self.refresh_applied_count += 1
+            # A duplicate of this version may have arrived while the apply
+            # held the CPU; drop it so it cannot linger.
+            self._pending_refresh.pop(version, None)
+            self.clock.advance_to(version)
+            self._send_commit_applied(version, len(writeset))
 
     def _vacuum_loop(self, interval_ms: float):
         """Periodically trim row versions no local snapshot can still read.
@@ -498,6 +574,7 @@ class ReplicaProxy:
         crash-recovery failure model."""
         self.crashed = True
         self._pending_refresh.clear()
+        self._pending_versions.clear()
         self._doomed.clear()
         for txn in list(self.engine.active_transactions):
             self.engine.abort(txn, "replica crashed")

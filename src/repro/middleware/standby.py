@@ -73,6 +73,7 @@ class CertifierStandby:
         balancer_name: str = "lb",
         heartbeat: Optional[HeartbeatSettings] = None,
         promote_hook: Optional[Callable[[Certifier], None]] = None,
+        certification_mode: str = "index",
     ):
         self.env = env
         self.network = network
@@ -87,6 +88,9 @@ class CertifierStandby:
         self.balancer_name = balancer_name
         self.heartbeat = heartbeat or HeartbeatSettings()
         self.promote_hook = promote_hook
+        #: conflict-detection mode the successor certifier starts with; a
+        #: primary-state snapshot (restore_state) overrides it at promotion
+        self.certification_mode = certification_mode
         self.mailbox: Mailbox = network.register(name)
         #: state-machine replica of the primary's decision log
         self.log = DecisionLog()
@@ -195,6 +199,7 @@ class CertifierStandby:
             heartbeat=self.heartbeat,
             standby_name=None,
             epoch=self.epoch,
+            certification_mode=self.certification_mode,
         )
         if self._primary_state is not None:
             successor.restore_state(self._primary_state)

@@ -55,11 +55,14 @@ class WriteSet:
     buffering time, so here replacement is last-writer-wins on kind+image).
     """
 
-    __slots__ = ("_ops", "_order")
+    __slots__ = ("_ops", "_order", "_slots")
 
     def __init__(self, ops: Iterable[WriteOp] = ()):
         self._ops: dict[tuple[str, Any], WriteOp] = {}
         self._order: list[tuple[str, Any]] = []
+        # Cached key-set; rebuilt lazily after a new slot is added so the
+        # conflict predicate is a frozenset intersection, not per-op probing.
+        self._slots: Optional[frozenset] = None
         for op in ops:
             self.add(op)
 
@@ -69,6 +72,7 @@ class WriteSet:
         slot = (op.table, op.key)
         if slot not in self._ops:
             self._order.append(slot)
+            self._slots = None
         self._ops[slot] = op
 
     # -- inspection ----------------------------------------------------------
@@ -91,6 +95,18 @@ class WriteSet:
         return not self._ops
 
     @property
+    def slots(self) -> frozenset:
+        """The precomputed ``(table, key)`` key-set of this writeset.
+
+        Cached between mutations: the certifier's conflict predicate and the
+        certification index both consume it on every commit, so it must not
+        be rebuilt per probe.
+        """
+        if self._slots is None:
+            self._slots = frozenset(self._ops)
+        return self._slots
+
+    @property
     def tables(self) -> frozenset[str]:
         """The set of tables this writeset touches (drives table versions)."""
         return frozenset(table for table, _key in self._ops)
@@ -111,14 +127,11 @@ class WriteSet:
         transaction T can commit iff its writeset does not write-conflict
         with the writesets committed since T started.
         """
-        mine, theirs = self._ops, other._ops
-        if len(theirs) < len(mine):
-            mine, theirs = theirs, mine
-        return any(slot in theirs for slot in mine)
+        return not self.slots.isdisjoint(other.slots)
 
     def conflicting_slots(self, other: "WriteSet") -> frozenset[tuple[str, Any]]:
         """The (table, key) slots written by both writesets."""
-        return frozenset(slot for slot in self._ops if slot in other._ops)
+        return self.slots & other.slots
 
     def __repr__(self) -> str:
         return f"<WriteSet ops={len(self._ops)} tables={sorted(self.tables)}>"

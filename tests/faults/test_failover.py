@@ -104,6 +104,63 @@ class TestAutomaticPromotion:
             assert certifier.decision_for(fenced) is None
 
 
+class TestPromotedIndexEquivalence:
+    """Promotion rebuilds the certification index from the tailed log; the
+    successor must decide exactly as the reference scan would over the
+    replicated window."""
+
+    def test_promoted_certifier_rebuilds_index_and_matches_scan(self):
+        import random
+
+        from repro.middleware import Certifier, CertifierPerformance, CertifyRequest
+        from repro.middleware.perfmodel import PerformanceParams
+        from repro.sim import RngRegistry
+        from repro.storage import OpKind, WriteOp, WriteSet
+
+        cluster, _ = standby_cluster()
+        cluster.run(500.0)
+        FaultInjector(cluster).kill_certifier()
+        cluster.run(1_500.0)
+        successor = cluster.certifier
+        assert cluster.standby.promoted
+        assert successor.certification_mode == "index"
+        assert successor._index is not None
+        assert successor.commit_version > 0
+
+        # A scan-mode twin over a clone of the successor's log: both must
+        # report the same first conflict for arbitrary probes.
+        twin = Certifier(
+            env=cluster.env,
+            network=cluster.network,
+            perf=CertifierPerformance(
+                PerformanceParams(), RngRegistry(99).stream("twin")
+            ),
+            replica_names=[],
+            level=successor.level,
+            name="certifier-scan-twin",
+            log=successor.log.clone(),
+            certification_mode="scan",
+        )
+        any_proxy = next(iter(cluster.replicas.values()))
+        tables = sorted(any_proxy.engine.database.table_names)
+        rng = random.Random(13)
+        low = successor.log.truncation_version
+        for request_id in range(200):
+            ops = [
+                WriteOp(rng.choice(tables), rng.randint(0, 120),
+                        OpKind.UPDATE, {})
+                for _ in range(rng.randint(1, 3))
+            ]
+            request = CertifyRequest(
+                txn_id=10_000 + request_id,
+                origin="probe",
+                snapshot_version=rng.randint(low, successor.commit_version),
+                writeset=WriteSet(ops),
+                request_id=90_000 + request_id,
+            )
+            assert successor._find_conflict(request) == twin._find_conflict(request)
+
+
 class TestManualFailover:
     """The injector's one-shot failover uses the same public state-transfer
     API as automatic promotion (no private-attribute pokes)."""
@@ -112,8 +169,11 @@ class TestManualFailover:
         cluster, _ = standby_cluster()
         cluster.run(400.0)
         state = cluster.certifier.snapshot_state()
-        assert set(state) == {"replicas", "applied", "departed"}
+        assert set(state) == {
+            "replicas", "applied", "departed", "certification_mode",
+        }
         assert sorted(state["replicas"]) == sorted(cluster.replica_names)
+        assert state["certification_mode"] == "index"
 
     def test_manual_failover_bumps_epoch_and_continues(self):
         cluster, _ = standby_cluster()

@@ -27,9 +27,10 @@ from repro.sim.rng import RngRegistry
 from repro.workloads import MicroBenchmark
 
 
-def chaos_run(seed, duration_ms=2_000.0, num_replicas=3, kill_certifier=True):
+def chaos_run(seed, duration_ms=2_000.0, num_replicas=3, kill_certifier=True,
+              **config_overrides):
     config = ClusterConfig.self_healing(
-        num_replicas=num_replicas, seed=seed, level="sc-fine"
+        num_replicas=num_replicas, seed=seed, level="sc-fine", **config_overrides
     )
     cluster = ReplicatedDatabase(
         MicroBenchmark(update_types=20, rows_per_table=100), config
@@ -101,6 +102,20 @@ def test_nemesis_soak_preserves_invariants(seed):
     # made progress through it.
     assert len(nemesis.actions) >= 5
     assert len(committed) > 100
+
+
+def test_nemesis_green_with_index_and_batched_refresh():
+    """The commit hot path optimisations (certification index + group
+    refresh apply) survive the full fault gauntlet: crash/recover churn,
+    certifier kill and promotion, with every audit invariant intact."""
+    cluster, nemesis = chaos_run(
+        31, certification_mode="index", batch_refresh_apply=True
+    )
+    assert nemesis.finished
+    committed = audit(cluster)
+    assert len(committed) > 100
+    assert cluster.certifier.certification_mode == "index"
+    assert any(p.refresh_batches > 0 for p in cluster.replicas.values())
 
 
 def test_nemesis_certifier_kill_forces_promotion():

@@ -80,7 +80,7 @@ class Harness:
     """One certifier + N proxies + a stub 'lb' mailbox to observe responses."""
 
     def __init__(self, env, num_replicas=2, level=ConsistencyLevel.SC_COARSE,
-                 tables=("t",), params=None):
+                 tables=("t",), params=None, proxy_overrides=None):
         self.env = env
         self.network = fixed_latency_network(env)
         self.params = params or low_variance_params()
@@ -100,6 +100,7 @@ class Harness:
                 perf=ReplicaPerformance(self.params, rngs.stream(f"p:{name}")),
                 level=level,
                 templates=self.catalog,
+                **(proxy_overrides or {}),
             )
         self.certifier = Certifier(
             env=env,

@@ -140,6 +140,72 @@ class TestRefreshApplication:
         assert proxy.refresh_applied_count == 1
 
 
+class TestBatchedRefreshApply:
+    def _batched_harness(self, env, limit=32):
+        return Harness(
+            env,
+            proxy_overrides={"batch_refresh_apply": True, "refresh_batch_limit": limit},
+        )
+
+    def test_backlog_drains_in_one_batch(self, env):
+        """A run of consecutive pending versions is applied in a single
+        engine pass: every version lands, CommitApplied fires per version,
+        and the group pays the fixed refresh overhead once."""
+        harness = self._batched_harness(env)
+        proxy = harness.proxy(1)
+        seed(harness)
+        # Versions 2..5 arrive while version 1 is missing -> backlog builds.
+        for version in range(2, 6):
+            harness.network.send(
+                "certifier", "replica-1",
+                RefreshWriteset(version, ws(1, version * 10), "replica-0", version),
+            )
+        env.run()
+        assert proxy.v_local == 0
+        assert proxy.pending_refresh_count == 4
+        harness.network.send(
+            "certifier", "replica-1", RefreshWriteset(1, ws(1, 10), "replica-0", 1)
+        )
+        env.run()
+        assert proxy.v_local == 5
+        assert proxy.refresh_applied_count == 5
+        assert proxy.refresh_batches >= 1
+        assert proxy.engine.database.table("t").read(1, 5)["v"] == 50
+        assert harness.certifier.applied_versions["replica-1"] == 5
+
+    def test_batch_limit_caps_run_length(self, env):
+        harness = self._batched_harness(env, limit=2)
+        proxy = harness.proxy(1)
+        seed(harness)
+        for version in range(2, 8):
+            harness.network.send(
+                "certifier", "replica-1",
+                RefreshWriteset(version, ws(1, version), "replica-0", version),
+            )
+        env.run()
+        harness.network.send(
+            "certifier", "replica-1", RefreshWriteset(1, ws(1, 1), "replica-0", 1)
+        )
+        env.run()
+        assert proxy.v_local == 7
+        assert proxy.refresh_applied_count == 7
+        # 7 versions at <=2 per pass needs at least 3 multi-version batches.
+        assert proxy.refresh_batches >= 3
+
+    def test_batching_disabled_by_default(self, env, harness):
+        proxy = harness.proxy(1)
+        seed(harness)
+        for version in (2, 3, 1):
+            harness.network.send(
+                "certifier", "replica-1",
+                RefreshWriteset(version, ws(1, version), "replica-0", version),
+            )
+        env.run()
+        assert proxy.v_local == 3
+        assert proxy.refresh_applied_count == 3
+        assert proxy.refresh_batches == 0
+
+
 class TestEarlyCertification:
     def test_statement_side_conflict_with_pending_refresh(self, env, harness):
         """A pending (unapplied) refresh writing the same row aborts the
@@ -238,7 +304,7 @@ class TestCrash:
         assert victim.v_local == 2
         # A duplicate replay of already-applied versions (e.g. a second
         # recovery racing a refresh that caught the replica up first).
-        victim._pending_refresh[1] = ws(1, 1)
+        victim._enqueue_refresh(1, ws(1, 1))
         victim._receive_recovery(
             RecoveryReply("replica-1", ((1, ws(1, 1)), (2, ws(1, 2))))
         )
