@@ -9,6 +9,11 @@ Every function regenerates the corresponding artifact's rows/series:
 * :func:`fig6`   — Figure 6, TPC-W synchronization delay, scaled load;
 * :func:`fig7`   — Figure 7, TPC-W response time, fixed load.
 
+Beyond the paper, :func:`availability` measures throughput around an
+injected replica crash, and :func:`saturation` / :func:`retry_storm` drive
+the cluster past its capacity knee with an open-loop generator to evaluate
+the overload-protection stack (see ``docs/TUNING.md``).
+
 ``quick=True`` (the default, used by the pytest benches) shrinks the
 warm-up/measurement windows and the sweep so a figure regenerates in tens of
 seconds; ``quick=False`` runs the paper-scale sweep used for EXPERIMENTS.md.
@@ -20,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core.consistency import ConsistencyLevel
 from ..core.policy import BoundedStalenessPolicy
@@ -37,7 +42,11 @@ __all__ = [
     "AvailabilityResult",
     "SeriesResult",
     "BreakdownResult",
+    "SaturationResult",
+    "RetryStormResult",
     "availability",
+    "saturation",
+    "retry_storm",
     "table1",
     "fig3",
     "fig4",
@@ -545,3 +554,260 @@ def fig7(
             series=series,
         )
     return results
+
+
+# ---------------------------------------------------------------------------
+# Overload protection (saturation sweep and retry storms)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SaturationResult:
+    """Offered-load sweep data: per-arm goodput / p99 / shed-rate curves."""
+
+    title: str
+    offered_tps: list[float]
+    goodput: dict[str, list[float]]
+    p99_ms: dict[str, list[float]]
+    shed_rate: dict[str, list[float]]
+
+    def render(self) -> str:
+        return "\n\n".join(
+            [
+                format_series(
+                    "offered tps", self.offered_tps, self.goodput,
+                    title=f"{self.title} — goodput (committed TPS)",
+                ),
+                format_series(
+                    "offered tps", self.offered_tps, self.p99_ms,
+                    title=f"{self.title} — p99 response (ms)",
+                ),
+                format_series(
+                    "offered tps", self.offered_tps, self.shed_rate,
+                    title=f"{self.title} — shed fraction of offered load",
+                    floatfmt="{:.3f}",
+                ),
+            ]
+        )
+
+
+def _saturation_point(
+    protected: bool, offered_tps: float, quick: bool, seed: int
+) -> tuple[float, float, float]:
+    from ..core.cluster import ClusterConfig, ReplicatedDatabase
+    from ..metrics.collector import MetricsCollector
+    from ..workloads.clients import OpenLoopLoad
+
+    warmup_ms = 500.0 if quick else 2_000.0
+    measure_ms = 2_500.0 if quick else 10_000.0
+    make = ClusterConfig.overload_protected if protected else ClusterConfig
+    config = make(num_replicas=3, level=ConsistencyLevel.SC_FINE, seed=seed)
+    cluster = ReplicatedDatabase(
+        MicroBenchmark(update_types=10, rows_per_table=1_000), config
+    )
+    collector = MetricsCollector(
+        measure_start=warmup_ms, measure_end=warmup_ms + measure_ms
+    )
+    load = OpenLoopLoad(
+        cluster.env,
+        cluster.network,
+        cluster.workload,
+        collector,
+        rate_tps=offered_tps,
+        rngs=cluster.rngs,
+    )
+    cluster.run(warmup_ms + measure_ms)
+    summary = collector.summary()
+    balancer = cluster.load_balancer
+    shed = balancer.shed_count + balancer.deadline_shed_count
+    shed_rate = shed / load.offered if load.offered else 0.0
+    return summary.tps, summary.p99_response_ms, shed_rate
+
+
+def saturation(
+    quick: bool = True,
+    seed: int = 0,
+    loads: Optional[Sequence[float]] = None,
+) -> SaturationResult:
+    """Open-loop saturation sweep: protection off vs on.
+
+    Closed-loop clients self-throttle, so saturation collapse is invisible
+    to them; here an :class:`~repro.workloads.clients.OpenLoopLoad` offers
+    transactions at a fixed Poisson rate regardless of completions.  The
+    ``unprotected`` arm is the plain configuration — past the capacity knee
+    its replica queues grow without bound and the p99 response time of what
+    *does* complete diverges.  The ``protected`` arm runs
+    :meth:`ClusterConfig.overload_protected` (MPL cap, bounded admission
+    queues, deadline shedding, certifier backpressure): goodput holds at
+    capacity, p99 stays flat, and the overflow shows up as explicit
+    fast-rejects instead of latency.
+    """
+    if loads is None:
+        # The 3-replica quick cluster's capacity knee sits near 3,500 tps;
+        # the sweep brackets it from both sides.
+        loads = (
+            (800.0, 1_600.0, 3_200.0, 4_800.0)
+            if quick
+            else (800.0, 1_600.0, 2_400.0, 3_200.0, 4_000.0, 4_800.0, 6_400.0)
+        )
+    arms = {"unprotected": False, "protected": True}
+    goodput: dict[str, list[float]] = {label: [] for label in arms}
+    p99: dict[str, list[float]] = {label: [] for label in arms}
+    shed: dict[str, list[float]] = {label: [] for label in arms}
+    for offered in loads:
+        for label, protected in arms.items():
+            tps, p99_ms, shed_rate = _saturation_point(
+                protected, float(offered), quick, seed
+            )
+            goodput[label].append(tps)
+            p99[label].append(p99_ms)
+            shed[label].append(shed_rate)
+    return SaturationResult(
+        title=(
+            "Saturation — open-loop offered load, 3 replicas, 25% update mix"
+        ),
+        offered_tps=[float(x) for x in loads],
+        goodput=goodput,
+        p99_ms=p99,
+        shed_rate=shed,
+    )
+
+
+@dataclass
+class RetryStormResult:
+    """Retry-storm (metastable failure) experiment data."""
+
+    title: str
+    bucket_ms: float
+    spike_start_ms: float
+    spike_end_ms: float
+    #: per-arm goodput timeline: (bucket_start_ms, committed tps)
+    timelines: dict[str, list[tuple[float, float]]]
+    #: mean goodput before the spike / in the post-spike tail window
+    baseline_tps: dict[str, float]
+    tail_tps: dict[str, float]
+    #: logical requests abandoned because the retry budget was exhausted
+    budget_denied: dict[str, int]
+
+    def recovered(self, label: str, fraction: float = 0.5) -> bool:
+        """Did this arm's tail goodput return to ``fraction`` of baseline?"""
+        base = self.baseline_tps.get(label, 0.0)
+        return base > 0 and self.tail_tps.get(label, 0.0) >= fraction * base
+
+    def render(self) -> str:
+        header = (
+            f"{'arm':>12} | {'baseline tps':>12} | {'tail tps':>9} | "
+            f"{'tail/base':>9} | {'denied':>7} | verdict"
+        )
+        lines = [self.title, "", header, "-" * len(header)]
+        for label in self.timelines:
+            base = self.baseline_tps[label]
+            tail = self.tail_tps[label]
+            ratio = tail / base if base > 0 else 0.0
+            verdict = "recovered" if self.recovered(label) else "collapsed"
+            lines.append(
+                f"{label:>12} | {base:12.0f} | {tail:9.0f} | "
+                f"{ratio:8.0%} | {self.budget_denied[label]:7d} | {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def retry_storm(
+    quick: bool = True,
+    seed: int = 0,
+    base_tps: float = 800.0,
+    spike_tps: float = 8_000.0,
+    bucket_ms: float = 250.0,
+) -> RetryStormResult:
+    """Metastable retry storm: a transient spike with and without budgets.
+
+    The classic metastable-failure shape (Bronson et al., HotOS'21): clients
+    retry on timeout, and work done for a timed-out request is wasted — the
+    replica still executes it, but the balancer has already given up on the
+    attempt.  A load spike pushes queueing delay past the request deadline;
+    from then on every request costs ``max_attempts`` executions, so the
+    *sustained* load stays far above capacity even after the spike ends and
+    goodput never comes back.  That is the ``budget-off`` arm.  The
+    ``budget-on`` arm is identical except for a client retry budget
+    (token bucket refilled by successes): once successes dry up the budget
+    denies retries, offered work falls back to the base rate, the backlog
+    drains, and goodput recovers.
+
+    Both arms run a read-only mix with a request deadline and no balancer
+    re-dispatch (``max_attempts=1``), so retries are purely the clients'
+    doing — the only difference between the arms is the budget.
+    """
+    from ..core.cluster import ClusterConfig, ReplicatedDatabase
+    from ..metrics.collector import MetricsCollector
+    from ..workloads.clients import OpenLoopLoad
+
+    spike_start = 1_500.0 if quick else 4_000.0
+    spike_ms = 1_000.0 if quick else 2_000.0
+    tail_ms = 4_000.0 if quick else 12_000.0
+    end = spike_start + spike_ms + tail_ms
+    arms: dict[str, Optional[float]] = {"budget-off": None, "budget-on": 0.1}
+
+    timelines: dict[str, list[tuple[float, float]]] = {}
+    baseline: dict[str, float] = {}
+    tail: dict[str, float] = {}
+    denied: dict[str, int] = {}
+    for label, ratio in arms.items():
+        config = ClusterConfig(
+            num_replicas=3,
+            level=ConsistencyLevel.SC_FINE,
+            seed=seed,
+            request_deadline_ms=60.0,
+            max_attempts=1,
+        )
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=0, rows_per_table=1_000), config
+        )
+        # A bounded window makes timeline() span the whole run even for an
+        # arm whose goodput hits zero (zero buckets, not a truncated list).
+        collector = MetricsCollector(measure_end=end)
+        load = OpenLoopLoad(
+            cluster.env,
+            cluster.network,
+            cluster.workload,
+            collector,
+            rate_tps=base_tps,
+            rngs=cluster.rngs,
+            retry_aborts=True,
+            max_attempts=12,
+            retry_budget_ratio=ratio,
+            retry_backoff_cap_ms=40.0,
+        )
+        cluster.run(spike_start)
+        load.set_rate(spike_tps)
+        cluster.run(spike_start + spike_ms)
+        load.set_rate(base_tps)
+        cluster.run(end)
+
+        timeline = collector.timeline(bucket_ms=bucket_ms)
+        timelines[label] = timeline
+        # Baseline skips the first 500 ms of warm-up transient; the tail is
+        # the last third of the post-spike window.
+        before = [
+            tps
+            for start, tps in timeline
+            if start >= 500.0 and start + bucket_ms <= spike_start
+        ]
+        tail_window_start = end - tail_ms / 3.0
+        after = [tps for start, tps in timeline if start >= tail_window_start]
+        baseline[label] = sum(before) / len(before) if before else 0.0
+        tail[label] = sum(after) / len(after) if after else 0.0
+        denied[label] = load.budget_denied
+
+    return RetryStormResult(
+        title=(
+            "Retry storm — open-loop spike "
+            f"({base_tps:.0f} → {spike_tps:.0f} → {base_tps:.0f} tps), "
+            "3 replicas, read-only mix, 60 ms deadline"
+        ),
+        bucket_ms=bucket_ms,
+        spike_start_ms=spike_start,
+        spike_end_ms=spike_start + spike_ms,
+        timelines=timelines,
+        baseline_tps=baseline,
+        tail_tps=tail,
+        budget_denied=denied,
+    )

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig4 | fig5 | fig6 | fig7 [--full] [--seed N]
     python -m repro audit [--level sc-fine|bounded:3] [--replicas 4] [--clients 16]
     python -m repro availability [--full] [--seed N]
+    python -m repro saturation [--full] [--seed N]
     python -m repro nemesis [--seed N] [--duration-ms T] [--no-kill-certifier]
     python -m repro levels
 
@@ -80,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     avail.add_argument("--full", action="store_true")
     avail.add_argument("--seed", type=int, default=0)
+
+    sat = sub.add_parser(
+        "saturation",
+        help="overload protection under open-loop load: saturation sweep "
+             "(p99/goodput/shed rate) plus the retry-storm experiment",
+    )
+    sat.add_argument("--full", action="store_true")
+    sat.add_argument("--seed", type=int, default=0)
 
     nemesis = sub.add_parser(
         "nemesis",
@@ -276,6 +285,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_run_audit(args))
     elif args.command == "availability":
         print(experiments.availability(quick=not args.full, seed=args.seed).render())
+    elif args.command == "saturation":
+        quick = not args.full
+        print(experiments.saturation(quick=quick, seed=args.seed).render())
+        print()
+        print(experiments.retry_storm(quick=quick, seed=args.seed).render())
     elif args.command == "nemesis":
         print(_run_nemesis(args))
     elif args.command == "levels":

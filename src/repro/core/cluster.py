@@ -24,6 +24,7 @@ from ..middleware.certifier import Certifier
 from ..middleware.durability import DecisionLog
 from ..middleware.heartbeat import HeartbeatSettings
 from ..middleware.loadbalancer import LoadBalancer
+from ..middleware.overload import OverloadSettings
 from ..middleware.perfmodel import (
     CertifierPerformance,
     PerformanceParams,
@@ -104,6 +105,26 @@ class ClusterConfig:
     standby_certifier: bool = False
     #: dispatch attempts per request before the client sees a failure
     max_attempts: int = 3
+    # -- overload protection (all off by default; see docs/TUNING.md) ------
+    #: per-replica cap on concurrently dispatched transactions (None = no
+    #: admission control: every request dispatches immediately, as before)
+    mpl_cap: Optional[int] = None
+    #: bound of each replica's admission queue (used only with ``mpl_cap``)
+    admission_queue_depth: int = 64
+    #: shed queued requests that cannot start within this budget of their
+    #: submission (None = no deadline-aware shedding)
+    shed_deadline_ms: Optional[float] = None
+    #: retry-after hint carried by ``Overloaded`` fast-rejects
+    retry_after_hint_ms: float = 10.0
+    #: bound on the certifier's inbound queue; beyond it certifications are
+    #: refused with backpressure (None = unbounded, as before)
+    certifier_queue_bound: Optional[int] = None
+    #: degradation-valve policy spec served to degradable reads while the
+    #: balancer is overloaded (e.g. "session" or "bounded:8"; None = off)
+    degradation_policy: Optional[str] = None
+    #: total admission-queue depth at which the valve opens / closes
+    valve_high: int = 16
+    valve_low: int = 4
 
     def __post_init__(self):
         if self.num_replicas < 1:
@@ -121,6 +142,24 @@ class ClusterConfig:
             )
         if self.refresh_batch_limit < 1:
             raise ValueError("refresh_batch_limit must be >= 1")
+        if self.mpl_cap is not None and self.mpl_cap < 1:
+            raise ValueError("mpl_cap must be >= 1")
+        if self.admission_queue_depth < 0:
+            raise ValueError("admission_queue_depth must be >= 0")
+        if self.shed_deadline_ms is not None and self.shed_deadline_ms <= 0:
+            raise ValueError("shed_deadline_ms must be positive")
+        if self.certifier_queue_bound is not None and self.certifier_queue_bound < 1:
+            raise ValueError("certifier_queue_bound must be >= 1")
+        if self.shed_deadline_ms is not None and self.mpl_cap is None:
+            raise ValueError("shed_deadline_ms requires mpl_cap (admission control)")
+        if self.degradation_policy is not None:
+            if self.mpl_cap is None:
+                raise ValueError(
+                    "degradation_policy requires mpl_cap (the valve keys on "
+                    "admission-queue depth)"
+                )
+            # Fail fast on an unknown/unparseable policy spec.
+            resolve_policy(self.degradation_policy, freshness_bound=self.freshness_bound)
 
     @classmethod
     def self_healing(cls, **overrides) -> "ClusterConfig":
@@ -137,12 +176,42 @@ class ClusterConfig:
         settings.update(overrides)
         return cls(**settings)
 
+    @classmethod
+    def overload_protected(cls, **overrides) -> "ClusterConfig":
+        """A configuration with the overload-protection stack enabled:
+        admission control with bounded queues, deadline-aware shedding and
+        certifier backpressure.  Any field can still be overridden by
+        keyword (set ``degradation_policy`` to also open the valve)."""
+        settings = dict(
+            mpl_cap=8,
+            admission_queue_depth=32,
+            shed_deadline_ms=500.0,
+            certifier_queue_bound=64,
+        )
+        settings.update(overrides)
+        return cls(**settings)
+
     @property
     def heartbeat_settings(self) -> Optional[HeartbeatSettings]:
         """The resolved heartbeat settings (None when detection is off)."""
         if self.heartbeat_interval_ms is None:
             return None
         return HeartbeatSettings(self.heartbeat_interval_ms, self.suspicion_threshold)
+
+    @property
+    def overload_settings(self) -> Optional[OverloadSettings]:
+        """The resolved admission-control settings (None when off)."""
+        if self.mpl_cap is None:
+            return None
+        return OverloadSettings(
+            mpl_cap=self.mpl_cap,
+            queue_depth=self.admission_queue_depth,
+            shed_deadline_ms=self.shed_deadline_ms,
+            retry_after_ms=self.retry_after_hint_ms,
+            valve_policy=self.degradation_policy,
+            valve_high=self.valve_high,
+            valve_low=self.valve_low,
+        )
 
 
 class ReplicatedDatabase:
@@ -212,6 +281,7 @@ class ReplicatedDatabase:
             heartbeat=heartbeat,
             standby_name=standby_name,
             certification_mode=config.certification_mode,
+            inbound_queue_bound=config.certifier_queue_bound,
         )
         self.load_balancer = LoadBalancer(
             env=self.env,
@@ -226,6 +296,7 @@ class ReplicatedDatabase:
             heartbeat=heartbeat,
             request_deadline_ms=config.request_deadline_ms,
             max_attempts=config.max_attempts,
+            overload=config.overload_settings,
         )
         self.standby: Optional[CertifierStandby] = None
         if config.standby_certifier:
@@ -271,6 +342,9 @@ class ReplicatedDatabase:
         count: int,
         collector: Optional[MetricsCollector] = None,
         retry_aborts: bool = False,
+        retry_budget_ratio: Optional[float] = None,
+        retry_budget_burst: int = 10,
+        degradable_reads: bool = False,
     ) -> MetricsCollector:
         """Spawn ``count`` closed-loop clients; returns their collector."""
         if collector is None:
@@ -283,6 +357,9 @@ class ReplicatedDatabase:
                 collector=collector,
                 rngs=self.rngs,
                 retry_aborts=retry_aborts,
+                retry_budget_ratio=retry_budget_ratio,
+                retry_budget_burst=retry_budget_burst,
+                degradable_reads=degradable_reads,
             )
         self.client_pool.spawn(count)
         return collector
@@ -326,6 +403,12 @@ class ReplicatedDatabase:
             "certifier_epoch": self.certifier.epoch,
             "certification_mode": self.certifier.certification_mode,
             "row_comparisons": self.certifier.row_comparisons,
+            "certifier_backpressure_rejects": self.certifier.backpressure_rejects,
+            "network": {
+                "sent": self.network.sent_count,
+                "dropped": self.network.dropped_count,
+                "dropped_by_reason": dict(self.network.dropped_by_reason),
+            },
             "balancer": {
                 "v_system": self.load_balancer.v_system,
                 "outstanding": self.load_balancer.outstanding_count,
@@ -334,6 +417,11 @@ class ReplicatedDatabase:
                 "retried_updates": self.load_balancer.retried_updates,
                 "fate_commits": self.load_balancer.fate_commits,
                 "fate_aborts": self.load_balancer.fate_aborts,
+                "pending_depth": self.load_balancer.pending_depth(),
+                "shed": self.load_balancer.shed_count,
+                "deadline_shed": self.load_balancer.deadline_shed_count,
+                "degraded": self.load_balancer.degraded_count,
+                "valve_open": self.load_balancer.valve_open,
             },
             "replicas": {
                 name: {

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from ..core.cluster import ReplicatedDatabase
 from ..middleware.certifier import Certifier
+from ..middleware.messages import ClientRequest, RoutedRequest, next_request_id
 from ..middleware.perfmodel import CertifierPerformance
 
 __all__ = ["FaultInjector"]
@@ -104,6 +105,50 @@ class FaultInjector:
             for name in self.cluster.replica_names
             if name not in self.crashed_replicas
         ]
+
+    # -- overload --------------------------------------------------------------
+    def overload(self, name: str, requests: int = 50, read_only: bool = True) -> int:
+        """Burst of synthetic client load straight at one replica proxy.
+
+        The burst bypasses the load balancer's admission control — that is
+        the point: it models a hot spot (or a misrouted flood) the balancer
+        did not meter, and the safety audits must stay green while the
+        replica sheds or absorbs it.  Calls are drawn from the cluster's own
+        workload under a dedicated RNG stream (reproducible, and never
+        perturbs client streams); with ``read_only`` (the default) only
+        read-only templates are used, so the burst consumes replica CPU
+        without touching certification or the commit history.  Responses go
+        to the balancer, which drops them as unknown request ids.
+
+        Returns the number of requests actually sent.
+        """
+        self._check_replica(name)
+        if requests < 1:
+            raise ValueError("requests must be >= 1")
+        rng = self.cluster.rngs.stream("injector:overload")
+        workload = self.cluster.workload
+        catalog = workload.catalog()
+        want_read_only = read_only and any(not t.is_update for t in catalog)
+        session = f"overload-{name}"
+        sent = 0
+        while sent < requests:
+            call = workload.next_call(session, rng)
+            template = catalog.get(call.template)
+            if want_read_only and (template is None or template.is_update):
+                continue
+            request = ClientRequest(
+                request_id=next_request_id(),
+                template=call.template,
+                params=call.params,
+                session_id=session,
+                reply_to=self.cluster.load_balancer.name,
+                submit_time=self.cluster.env.now,
+            )
+            self.cluster.network.send(
+                self.cluster.load_balancer.name, name, RoutedRequest(request, 0)
+            )
+            sent += 1
+        return sent
 
     # -- link partitions -------------------------------------------------------
     def partition_link(self, sender: str, recipient: str, symmetric: bool = False) -> None:

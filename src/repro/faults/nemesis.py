@@ -47,6 +47,8 @@ class Nemesis:
         kill_certifier: bool = False,
         certifier_kill_after_ms: float = 500.0,
         max_partitions: int = 2,
+        overload_bursts: bool = False,
+        overload_request_count: int = 40,
     ):
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
@@ -59,6 +61,11 @@ class Nemesis:
         self.kill_certifier = kill_certifier
         self.certifier_kill_after_ms = certifier_kill_after_ms
         self.max_partitions = max_partitions
+        #: include "overload" faults: a burst of synthetic read-only load
+        #: straight at one replica (off by default so existing seeded
+        #: schedules replay unchanged)
+        self.overload_bursts = overload_bursts
+        self.overload_request_count = overload_request_count
         #: (virtual time, action, detail) — the reproducible fault schedule
         self.actions: list[tuple[float, str, str]] = []
         #: links currently cut by this nemesis: (sender, recipient, symmetric)
@@ -98,6 +105,8 @@ class Nemesis:
             choices.append("partition")
         if self._cut_links:
             choices.append("heal")
+        if self.overload_bursts and self.injector.surviving_replicas():
+            choices.append("overload")
         if (
             self.kill_certifier
             and not self.certifier_killed
@@ -141,6 +150,11 @@ class Nemesis:
         link = self._cut_links.pop(self.rng.randint(0, len(self._cut_links) - 1))
         self.injector.heal_link(link[0], link[1], symmetric=link[2])
         self._log("heal", f"{link[0]}->{link[1]}")
+
+    def _do_overload(self) -> None:
+        name = self.rng.choice(self.injector.surviving_replicas())
+        sent = self.injector.overload(name, requests=self.overload_request_count)
+        self._log("overload", f"{name} x{sent}")
 
     def _do_kill_certifier(self) -> None:
         killed = self.injector.kill_certifier()

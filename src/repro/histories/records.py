@@ -11,8 +11,8 @@ guarantee (and that the weak baseline does not).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["TxnRecord", "RunHistory"]
 

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from .collector import MetricsSummary
 from .stages import STAGE_NAMES, StageTimings
 
 __all__ = ["format_table", "format_series", "format_breakdown"]

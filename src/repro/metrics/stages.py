@@ -14,7 +14,7 @@ client inside the response and feeds the Figure 4 latency-breakdown bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["STAGE_NAMES", "StageTimings"]
 

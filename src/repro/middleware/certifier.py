@@ -84,7 +84,10 @@ class Certifier:
         standby_ack_timeout_ms: float = 10.0,
         epoch: int = 1,
         certification_mode: str = "index",
+        inbound_queue_bound: Optional[int] = None,
     ):
+        if inbound_queue_bound is not None and inbound_queue_bound < 1:
+            raise ValueError("inbound_queue_bound must be >= 1")
         if certification_mode not in ("index", "scan"):
             raise ValueError(
                 f"certification_mode must be 'index' or 'scan', "
@@ -142,9 +145,17 @@ class Certifier:
         self._unreleased: set[int] = set()
         #: failover epoch this certifier belongs to (bumped per promotion)
         self.epoch = epoch
+        #: bound on the inbound queue behind which a CertifyRequest may wait
+        #: (None = unbounded, the legacy behavior); beyond it the certifier
+        #: sheds the request with an ``overloaded`` reply *without* spending
+        #: certification time — backpressure the origin proxy reports to the
+        #: client as a retryable abort
+        self.inbound_queue_bound = inbound_queue_bound
         # Counters for tests/metrics.
         self.certified_count = 0
         self.abort_count = 0
+        #: certifications refused by the inbound-queue bound
+        self.backpressure_rejects = 0
         #: row comparisons performed by conflict detection (both modes);
         #: the scaling bench and CI perf smoke key on this, not wall-clock
         self.row_comparisons = 0
@@ -303,6 +314,26 @@ class Certifier:
         )
 
     def _handle_certify(self, request: CertifyRequest):
+        if (
+            self.inbound_queue_bound is not None
+            and len(self.mailbox) >= self.inbound_queue_bound
+        ):
+            # Backpressure: the queue behind this request exceeds the bound.
+            # Refuse *before* spending certification time — no decision is
+            # made and nothing is logged, so the abort is trivially safe.
+            self.backpressure_rejects += 1
+            self.network.send(
+                self.name,
+                request.origin,
+                CertifyReply(
+                    txn_id=request.txn_id,
+                    request_id=request.request_id,
+                    certified=False,
+                    commit_version=None,
+                    overloaded=True,
+                ),
+            )
+            return
         # Certification + durable logging consume the certifier's CPU; this
         # serialises decisions, which is what makes the total order total.
         yield from self._service.use(self.perf.certify(len(request.writeset)))

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Optional
 
 from ..sim.kernel import Environment, Event
 

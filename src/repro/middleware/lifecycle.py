@@ -235,6 +235,10 @@ class TxnLifecycle:
         if proxy.crashed or not txn.is_active:
             raise ReplicaCrashed
         if not reply.certified:
+            if reply.overloaded:
+                # Backpressure reject: the certifier refused the request
+                # before deciding anything, so the abort is retryable.
+                raise StageAbort("certifier overloaded: certification shed")
             raise StageAbort(
                 f"certification conflict with committed v{reply.conflict_with}"
             )

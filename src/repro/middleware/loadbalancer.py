@@ -29,6 +29,7 @@ Self-healing extensions (opt-in; see ``docs/PROTOCOL.md``):
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import replace
 from typing import Optional
 
@@ -38,6 +39,7 @@ from ..histories.records import RunHistory, TxnRecord
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
+from .overload import OverloadSettings
 from .messages import (
     ClientRequest,
     ClientResponse,
@@ -65,6 +67,7 @@ class _Outstanding:
         "read_only",
         "fate_pending",
         "counted",
+        "dispatch_time",
     )
 
     def __init__(self, client_request, request, replica, start_version, read_only):
@@ -81,6 +84,9 @@ class _Outstanding:
         self.fate_pending = False
         #: whether the replica's active count currently includes this entry
         self.counted = True
+        #: when the current attempt was sent (feeds the admission-control
+        #: service-time estimate)
+        self.dispatch_time = 0.0
 
 
 class LoadBalancer:
@@ -108,6 +114,7 @@ class LoadBalancer:
         max_attempts: int = 3,
         fate_retry_ms: float = 25.0,
         max_fate_attempts: int = 40,
+        overload: Optional[OverloadSettings] = None,
     ):
         if routing not in self.ROUTING_POLICIES:
             raise ValueError(
@@ -164,6 +171,29 @@ class LoadBalancer:
         #: attempt of a client request ever committed
         self.retry_lineage: dict[int, list[int]] = {}
 
+        # Overload protection (inert when ``overload`` is None).
+        self.overload = overload
+        #: per-replica bounded pending queues; entries are
+        #: ``(request, read_only)``
+        self._pending: dict[str, deque] = {r: deque() for r in replica_names}
+        #: fast-rejects because the chosen replica's pending queue was full
+        self.shed_count = 0
+        #: sheds because the request could no longer meet its deadline
+        self.deadline_shed_count = 0
+        #: read-only requests served at the valve's degraded policy
+        self.degraded_count = 0
+        #: True while the degradation valve is open
+        self.valve_open = False
+        #: valve transitions: ``(virtual_time, "open"/"close", v_system)``
+        self.valve_events: list[tuple[float, str, int]] = []
+        self._valve_policy = (
+            resolve_policy(overload.valve_policy, freshness_bound=freshness_bound)
+            if overload is not None and overload.valve_policy is not None
+            else None
+        )
+        #: EWMA of observed dispatch→response time (the shedding estimate)
+        self._service_ewma_ms: Optional[float] = None
+
         self.monitor: Optional[HeartbeatMonitor] = None
         if heartbeat is not None:
             self.monitor = HeartbeatMonitor(
@@ -215,7 +245,30 @@ class LoadBalancer:
                 raise TypeError(f"load balancer got unexpected message {message!r}")
 
     # -- request path ---------------------------------------------------------
+    def _template_for(self, name: str):
+        """The registered template behind a transaction identifier.
+
+        Raises :class:`ValueError` naming the known templates for an unknown
+        identifier — an unknown name used to fall back to "update touching
+        all tables", silently serializing the request behind every commit.
+        """
+        try:
+            return self.templates[name]
+        except KeyError:
+            known = getattr(self.templates, "names", None)
+            if known is None:
+                known = tuple(self.templates)
+            raise ValueError(
+                f"unknown template {name!r}; known templates: "
+                + ", ".join(sorted(known))
+            ) from None
+
     def _dispatch(self, request: ClientRequest) -> None:
+        template = self._template_for(request.template)
+        read_only = not template.is_update
+        if self.overload is not None:
+            self._admit(request, read_only)
+            return
         replica = self._pick_replica()
         if replica is None:
             # Every replica is down or suspected.  Answer instead of raising:
@@ -224,16 +277,115 @@ class LoadBalancer:
             self.rejected_count += 1
             self._respond_failure(request, "no replicas available", "")
             return
-        start_version = self._start_version(request)
-        template = self.templates.get(request.template)
-        read_only = not (template.is_update if template is not None else True)
-        self._outstanding[request.request_id] = _Outstanding(
-            request, request, replica, start_version, read_only
-        )
+        self._dispatch_now(request, replica, read_only)
+
+    def _dispatch_now(self, request: ClientRequest, replica: str,
+                      read_only: bool) -> None:
+        start_version = self._start_version(request, read_only=read_only)
+        entry = _Outstanding(request, request, replica, start_version, read_only)
+        entry.dispatch_time = self.env.now
+        self._outstanding[request.request_id] = entry
         self._active_count[replica] += 1
         self.dispatched_count += 1
         self.network.send(self.name, replica, RoutedRequest(request, start_version))
         self._arm_deadline(request.request_id, 1)
+
+    # -- admission control (overload protection) -----------------------------
+    def _admit(self, request: ClientRequest, read_only: bool) -> None:
+        """Admission control: dispatch within the MPL cap, queue within the
+        queue bound, fast-reject (or deadline-shed) beyond it."""
+        settings = self.overload
+        replica = self._pick_replica()
+        if replica is None:
+            self.rejected_count += 1
+            self._respond_failure(request, "no replicas available", "")
+            return
+        if self._active_count[replica] < settings.mpl_cap:
+            self._dispatch_now(request, replica, read_only)
+            return
+        queue = self._pending[replica]
+        if len(queue) >= settings.queue_depth:
+            self._shed(request, "admission queue full")
+            return
+        if settings.shed_deadline_ms is not None:
+            # Estimated start time given the queue ahead of us: each MPL
+            # slot turns over once per observed service time.
+            wait = (len(queue) + 1) * self._service_estimate_ms() / settings.mpl_cap
+            if self.env.now + wait > request.submit_time + settings.shed_deadline_ms:
+                self._shed(request, "deadline unreachable at current depth",
+                           deadline=True)
+                return
+        queue.append((request, read_only))
+        self._update_valve()
+
+    def _shed(self, request: ClientRequest, why: str, deadline: bool = False) -> None:
+        """Refuse a request before it starts: an ``Overloaded`` fast-reject
+        with a retry-after hint.  The shed is accounted as a network drop
+        under "overload-shed" so audits see one drop breakdown."""
+        if deadline:
+            self.deadline_shed_count += 1
+        else:
+            self.shed_count += 1
+        self.network.record_drop("overload-shed")
+        self.network.send(
+            self.name,
+            request.reply_to,
+            ClientResponse(
+                request_id=request.request_id,
+                committed=False,
+                commit_version=None,
+                abort_reason=f"overloaded: {why}",
+                replica="",
+                stages=None,
+                overloaded=True,
+                retry_after_ms=self.overload.retry_after_ms,
+            ),
+        )
+
+    def _service_estimate_ms(self) -> float:
+        """EWMA of dispatch→response time (1 ms prior before any sample)."""
+        return self._service_ewma_ms if self._service_ewma_ms is not None else 1.0
+
+    def _pump(self, replica: str) -> None:
+        """A slot freed up: admit pending requests, shedding the ones whose
+        deadline passed while they queued."""
+        if self.overload is None:
+            return
+        settings = self.overload
+        queue = self._pending.get(replica)
+        while (
+            queue
+            and replica in self._up
+            and self._active_count.get(replica, 0) < settings.mpl_cap
+        ):
+            request, read_only = queue.popleft()
+            if (
+                settings.shed_deadline_ms is not None
+                and self.env.now > request.submit_time + settings.shed_deadline_ms
+            ):
+                self._shed(request, "deadline exceeded while queued", deadline=True)
+                continue
+            self._dispatch_now(request, replica, read_only)
+        self._update_valve()
+
+    def pending_depth(self, replica: Optional[str] = None) -> int:
+        """Requests waiting in admission queues (one replica's, or all)."""
+        if replica is not None:
+            return len(self._pending.get(replica, ()))
+        return sum(len(queue) for queue in self._pending.values())
+
+    def _update_valve(self) -> None:
+        """Hysteresis valve over the total pending depth: open at
+        ``valve_high``, close at ``valve_low``."""
+        if self._valve_policy is None:
+            return
+        depth = self.pending_depth()
+        if not self.valve_open and depth >= self.overload.valve_high:
+            self.valve_open = True
+            self.valve_events.append((self.env.now, "open", self.tracker.v_system))
+        elif self.valve_open and depth <= self.overload.valve_low:
+            self.valve_open = False
+            self.valve_events.append((self.env.now, "close", self.tracker.v_system))
 
     def _pick_replica(self, exclude: frozenset = frozenset()) -> Optional[str]:
         """Route per the configured policy over the replicas currently up.
@@ -255,16 +407,31 @@ class LoadBalancer:
             return self.rng.choice(candidates)
         return min(candidates, key=lambda r: (self._active_count[r], r))
 
-    def _start_version(self, request: ClientRequest) -> int:
+    def _start_version(self, request: ClientRequest, read_only: bool = False) -> int:
         """The consistency tag: the minimum version the replica must reach.
 
         The policy decides; the balancer supplies its soft state — the
         version tracker, plus the transaction's table-set looked up in the
         catalog by the request's transaction identifier (template name),
         exactly as the paper's balancer queries its table-set dictionary.
+
+        While the degradation valve is open, a *degradable* read-only
+        request is tagged by the weaker valve policy instead — the graceful
+        alternative to queueing or shedding it.
         """
-        template = self.templates.get(request.template)
-        table_set = template.table_set if template is not None else None
+        table_set = self.templates[request.template].table_set
+        if (
+            self._valve_policy is not None
+            and self.valve_open
+            and read_only
+            and request.degradable
+        ):
+            self.degraded_count += 1
+            return self._valve_policy.start_version(
+                self.tracker,
+                table_set=table_set,
+                session_id=request.session_id,
+            )
         return self.policy.start_version(
             self.tracker,
             table_set=table_set,
@@ -292,6 +459,7 @@ class LoadBalancer:
             entry.counted = False
             if self._active_count.get(entry.replica, 0) > 0:
                 self._active_count[entry.replica] -= 1
+            self._pump(entry.replica)
 
     def _handle_timeout(self, request_id: int, entry: _Outstanding, why: str) -> None:
         """A dispatch attempt is overdue (deadline or replica suspicion)."""
@@ -336,9 +504,10 @@ class LoadBalancer:
         entry.request = request
         entry.replica = replica
         entry.attempts += 1
-        entry.start_version = self._start_version(request)
+        entry.start_version = self._start_version(request, read_only=entry.read_only)
         entry.fate_pending = False
         entry.counted = True
+        entry.dispatch_time = self.env.now
         self._outstanding[request.request_id] = entry
         self._active_count[replica] += 1
         self.network.send(self.name, replica, RoutedRequest(request, entry.start_version))
@@ -381,8 +550,7 @@ class LoadBalancer:
             # snapshot (a valid lower bound) and the commit version as the
             # replica version the tracker advances to.
             self.fate_commits += 1
-            template = self.templates.get(entry.request.template)
-            tables = template.table_set if template is not None else frozenset()
+            tables = self.templates[entry.request.template].table_set
             self._relay(
                 TxnResponse(
                     request_id=request_id,
@@ -419,6 +587,13 @@ class LoadBalancer:
         entry = self._outstanding.pop(response.request_id, None)
         if entry is None:
             return  # late response for a request already answered (crash path)
+        if self.overload is not None and entry.dispatch_time:
+            observed = self.env.now - entry.dispatch_time
+            self._service_ewma_ms = (
+                observed
+                if self._service_ewma_ms is None
+                else 0.8 * self._service_ewma_ms + 0.2 * observed
+            )
         self._release_slot(entry)
         client_request = entry.client_request
 
@@ -439,8 +614,7 @@ class LoadBalancer:
             ),
         )
         if self.history is not None:
-            template = self.templates.get(client_request.template)
-            accessed = template.table_set if template is not None else frozenset()
+            accessed = self.templates[client_request.template].table_set
             self.history.add(
                 TxnRecord(
                     request_id=client_request.request_id,
@@ -489,6 +663,15 @@ class LoadBalancer:
         even though the client sees a failure — the inherent client
         uncertainty of the crash-recovery model; see DESIGN.md D5."""
         self._up.discard(replica)
+        queue = self._pending.get(replica)
+        if queue:
+            # Re-admit the dead replica's queued (never dispatched) requests
+            # elsewhere; they shed normally if everywhere else is full too.
+            stranded = list(queue)
+            queue.clear()
+            for request, read_only in stranded:
+                self._admit(request, read_only)
+            self._update_valve()
         affected = [
             (rid, entry)
             for rid, entry in self._outstanding.items()

@@ -8,7 +8,7 @@ dataclass so tests can pattern-match on traffic via network taps.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
 from ..storage.writeset import WriteSet
@@ -52,6 +52,9 @@ class ClientRequest:
     *transaction identifier*, which SC-FINE uses to look up the table-set);
     ``params`` are the prepared-statement parameters; ``session_id``
     identifies the client's session; ``reply_to`` is the client's endpoint.
+    ``degradable`` marks a read-only request the client is willing to have
+    served at a weaker consistency level while the balancer's degradation
+    valve is open (ignored for updates and when the valve is unconfigured).
     """
 
     request_id: int
@@ -60,11 +63,17 @@ class ClientRequest:
     session_id: str
     reply_to: str
     submit_time: float
+    degradable: bool = False
 
 
 @dataclass(frozen=True)
 class ClientResponse:
-    """Load balancer → client: transaction outcome."""
+    """Load balancer → client: transaction outcome.
+
+    ``overloaded`` marks a fast-reject by admission control: the request was
+    shed before it started, and ``retry_after_ms`` hints when a retry has a
+    chance of being admitted.
+    """
 
     request_id: int
     committed: bool
@@ -74,6 +83,8 @@ class ClientResponse:
     stages: "Any"  # metrics.StageTimings; Any avoids a circular import
     snapshot_version: int = 0
     result: Any = None
+    overloaded: bool = False
+    retry_after_ms: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -134,7 +145,11 @@ class CertifyRequest:
 class CertifyReply:
     """Certifier → origin proxy: the decision.
 
-    ``commit_version`` is set iff ``certified``.
+    ``commit_version`` is set iff ``certified``.  ``overloaded`` marks a
+    backpressure reject: the certifier's inbound queue exceeded its bound
+    and the request was refused *without* being certified — no decision was
+    made, so the proxy aborts the transaction locally and the client may
+    retry.
     """
 
     txn_id: int
@@ -142,6 +157,7 @@ class CertifyReply:
     certified: bool
     commit_version: Optional[int]
     conflict_with: Optional[int] = None  # version of the conflicting commit
+    overloaded: bool = False
 
 
 @dataclass(frozen=True)

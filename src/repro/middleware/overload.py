@@ -1,0 +1,126 @@
+"""Overload protection: admission control, shedding, retry budgets.
+
+The paper's lazy schemes delay transaction *start*, so under saturation the
+delay queues at the load balancer and the CPU queues at the replicas grow
+without bound — nothing in the original design protects the cluster from its
+own clients.  This module holds the knobs and client-side mechanism of the
+overload-protection layer (all opt-in; the defaults-off path is
+trace-identical to a build without it):
+
+* :class:`OverloadSettings` — the load balancer's admission-control
+  parameters: a multiprogramming-level (MPL) cap per replica, a bounded
+  pending queue in front of each replica, deadline-aware shedding, the
+  retry-after hint carried by fast-reject responses, and the graceful
+  degradation valve (downgrade tagged read-only transactions to a weaker
+  consistency policy while queues are deep).
+* :class:`RetryBudget` — the client pool's token bucket: retries are paid
+  for by successes, so a transient spike cannot turn into a self-sustaining
+  retry storm (the metastable-failure scenario the saturation bench
+  demonstrates).
+
+Shedding happens strictly **before** a transaction starts — a shed request
+never reads a snapshot, never ships a writeset and never appears in the run
+history — which is why admission control composes with every consistency
+policy without weakening its guarantee (see ``docs/PROTOCOL.md``,
+"Overload and flow control").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["OverloadSettings", "RetryBudget"]
+
+
+@dataclass(frozen=True)
+class OverloadSettings:
+    """Admission-control parameters of one load balancer.
+
+    ``mpl_cap`` bounds the transactions concurrently dispatched to each
+    replica; arrivals beyond the cap wait in a per-replica pending queue of
+    at most ``queue_depth`` entries and are fast-rejected (an ``Overloaded``
+    response with ``retry_after_ms``) once the queue is full.  With
+    ``shed_deadline_ms`` set, a request that cannot start within that many
+    milliseconds of its submission — estimated at enqueue time from the
+    queue depth and the observed service time, and re-checked at dequeue —
+    is shed instead of occupying a slot it can no longer use.
+
+    The degradation valve is configured by ``valve_policy`` (a registered
+    consistency-policy spec such as ``"session"`` or ``"bounded:8"``): while
+    the total pending depth is at or above ``valve_high`` the balancer tags
+    *degradable* read-only requests with the weaker policy's start version;
+    the valve closes — restoring the configured strong policy — once the
+    depth drains to ``valve_low`` (hysteresis, so the valve does not
+    flutter).
+    """
+
+    #: per-replica cap on concurrently dispatched transactions
+    mpl_cap: int
+    #: bound of each replica's pending queue (0 = reject as soon as the
+    #: replica is at its MPL cap)
+    queue_depth: int = 64
+    #: shed requests that cannot start within this budget of their
+    #: submission (None = no deadline-aware shedding)
+    shed_deadline_ms: Optional[float] = None
+    #: retry-after hint carried by fast-reject responses
+    retry_after_ms: float = 10.0
+    #: consistency-policy spec served to degradable reads while the valve
+    #: is open (None = no degradation valve)
+    valve_policy: Optional[str] = None
+    #: total pending depth at which the valve opens
+    valve_high: int = 16
+    #: total pending depth at which the valve closes again
+    valve_low: int = 4
+
+    def __post_init__(self):
+        if self.mpl_cap < 1:
+            raise ValueError("mpl_cap must be >= 1")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if self.shed_deadline_ms is not None and self.shed_deadline_ms <= 0:
+            raise ValueError("shed_deadline_ms must be positive")
+        if self.retry_after_ms < 0:
+            raise ValueError("retry_after_ms must be >= 0")
+        if self.valve_high < 1:
+            raise ValueError("valve_high must be >= 1")
+        if not 0 <= self.valve_low < self.valve_high:
+            raise ValueError("valve_low must be within [0, valve_high)")
+
+
+class RetryBudget:
+    """Token-bucket retry budget shared by a pool of clients.
+
+    The bucket starts full at ``burst`` tokens; every *successful* request
+    deposits ``ratio`` tokens (capped at ``burst``) and every retry spends
+    one.  In steady state retries are therefore capped at ``ratio`` times
+    the success rate — a load spike can drain the burst allowance, but it
+    cannot recruit the client pool into an open-ended retry storm that
+    outlives the spike.
+    """
+
+    def __init__(self, ratio: float, burst: int = 10):
+        if ratio < 0:
+            raise ValueError("ratio must be >= 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.ratio = ratio
+        self.burst = burst
+        self.tokens = float(burst)
+        #: retries paid for by the budget
+        self.spent = 0
+        #: retries the budget refused (the request fails to the caller)
+        self.denied = 0
+
+    def on_success(self) -> None:
+        """Deposit the per-success allowance."""
+        self.tokens = min(float(self.burst), self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Spend one token for a retry; False when the budget is exhausted."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False

@@ -92,6 +92,10 @@ class Network:
         self._partition = _Partition()
         self.sent_count = 0
         self.dropped_count = 0
+        #: drops broken down by cause: "endpoint-down" (recipient crashed),
+        #: "link-cut" (directed partition), "overload-shed" (admission
+        #: control refused the request before it entered the system)
+        self.dropped_by_reason: dict[str, int] = {}
         self._taps: list[Callable[[str, str, Any], None]] = []
 
     # -- endpoints ---------------------------------------------------------
@@ -150,6 +154,15 @@ class Network:
         for every message handed to :meth:`send` (useful in tests)."""
         self._taps.append(tap)
 
+    def record_drop(self, reason: str) -> None:
+        """Account one dropped message under ``reason``.
+
+        Used internally for partition/crash drops and by higher layers that
+        kill a request before it travels (the balancer's overload shedding),
+        so audits can assert *why* messages died from one counter."""
+        self.dropped_count += 1
+        self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
+
     # -- transmission ---------------------------------------------------------
     def send(self, sender: str, recipient: str, message: Any) -> None:
         """Send ``message`` to ``recipient``; delivery after sampled latency.
@@ -163,8 +176,11 @@ class Network:
         for tap in self._taps:
             tap(sender, recipient, message)
         self.sent_count += 1
-        if recipient in self._partition.down or (sender, recipient) in self._partition.links:
-            self.dropped_count += 1
+        if recipient in self._partition.down:
+            self.record_drop("endpoint-down")
+            return
+        if (sender, recipient) in self._partition.links:
+            self.record_drop("link-cut")
             return
         delay = self.latency.sample(self.rng)
         mailbox = self._mailboxes[recipient]
@@ -173,8 +189,11 @@ class Network:
                      sender=sender, recipient=recipient):
             # Re-check at delivery time: the endpoint may have crashed, or
             # the link been cut, while the message was in flight.
-            if recipient in self._partition.down or (sender, recipient) in self._partition.links:
-                self.dropped_count += 1
+            if recipient in self._partition.down:
+                self.record_drop("endpoint-down")
+                return
+            if (sender, recipient) in self._partition.links:
+                self.record_drop("link-cut")
                 return
             mailbox.deliver(message)
 

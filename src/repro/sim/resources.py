@@ -14,7 +14,7 @@ events that a process yields.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque
 
 from .kernel import Environment, Event, SimulationError
 

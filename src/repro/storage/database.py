@@ -9,7 +9,7 @@ that replica's ``V_local``.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Mapping, Optional
 
 from .errors import StorageError, UnknownTableError
 from .schema import TableSchema

@@ -18,7 +18,7 @@ each replica hosts in the paper's prototype.  It offers:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from .database import Database
 from .errors import (

@@ -22,7 +22,7 @@ field and a 100-character text field — is expressed as::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Mapping, Sequence
 
 from .errors import SchemaError
 

@@ -30,10 +30,9 @@ text.  This module provides exactly that:
 
 from __future__ import annotations
 
-import enum
 import re
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Union
 
 from .errors import StorageError
 

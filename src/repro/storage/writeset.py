@@ -13,7 +13,7 @@ propagation model of the paper's middleware.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Optional
 
 __all__ = ["OpKind", "WriteOp", "WriteSet"]

@@ -21,7 +21,7 @@ account; think times are negative-exponential as in the paper.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from ..middleware.perfmodel import PerformanceParams
 from ..sim.rng import Rng
@@ -208,7 +208,7 @@ def _buy_confirm(ctx, params):
     customer_id = params["customer_id"]
     order_id = params["order_id"]
     customer = ctx.read_required("customer", customer_id)
-    cart = ctx.read_required("shopping_cart", customer_id)
+    ctx.read_required("shopping_cart", customer_id)
     line_keys = ctx.lookup("shopping_cart_line", "cart_id", customer_id, cost_ms=1.5)
     total = 0.0
     line_number = 0

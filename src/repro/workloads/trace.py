@@ -19,7 +19,6 @@ comparison).
 from __future__ import annotations
 
 import json
-from typing import Optional, Sequence
 
 from ..sim.rng import Rng
 from ..storage.database import Database

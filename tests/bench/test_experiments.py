@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.bench import LEVELS, SeriesResult, fig3, table1
+from repro.bench import SeriesResult, fig3, table1
 from repro.bench.experiments import _micro_config
-from repro.bench.runner import run_experiment
 from repro.core import ConsistencyLevel
 
 

@@ -114,7 +114,7 @@ class TestInteractiveUse:
 class TestStats:
     def test_stats_snapshot_shape(self):
         cluster = make_cluster(num_replicas=2)
-        collector = cluster.add_clients(4)
+        cluster.add_clients(4)
         cluster.run(500.0)
         stats = cluster.stats()
         assert stats["commit_version"] > 0

@@ -145,6 +145,40 @@ class TestLegacyLevelEquivalence:
         assert fingerprint(cluster, collector) == GOLDEN[level.value]
 
 
+class TestOverloadKnobsDefaultsOff:
+    """The overload-protection layer must be trace-neutral when off: passing
+    every new knob at its default value reproduces the golden run exactly."""
+
+    def test_explicit_default_knobs_are_byte_identical(self):
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=10, rows_per_table=200),
+            ClusterConfig(
+                num_replicas=4,
+                level=ConsistencyLevel.SC_COARSE,
+                seed=11,
+                mpl_cap=None,
+                admission_queue_depth=64,
+                shed_deadline_ms=None,
+                retry_after_hint_ms=10.0,
+                certifier_queue_bound=None,
+                degradation_policy=None,
+                valve_high=16,
+                valve_low=4,
+            ),
+        )
+        collector = MetricsCollector(measure_start=0.0)
+        cluster.add_clients(
+            6, collector,
+            retry_budget_ratio=None, retry_budget_burst=10, degradable_reads=False,
+        )
+        cluster.run(2_500.0)
+        assert fingerprint(cluster, collector) == GOLDEN["sc-coarse"]
+        balancer = cluster.load_balancer
+        assert balancer.shed_count == 0
+        assert balancer.degraded_count == 0
+        assert cluster.certifier.backpressure_rejects == 0
+
+
 class TestBoundedStaleness:
     def test_bounded_zero_is_byte_identical_to_sc_coarse(self):
         cluster, collector = run_scenario("bounded:0")

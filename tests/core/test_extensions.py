@@ -6,7 +6,6 @@ import pytest
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase
 from repro.histories import staleness_report
 from repro.metrics import MetricsCollector
-from repro.storage import TransactionAborted
 from repro.workloads import MicroBenchmark, TransactionTemplate
 
 

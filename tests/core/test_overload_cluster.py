@@ -1,0 +1,170 @@
+"""Cluster-level overload protection: config wiring, saturation behavior,
+and the graceful-degradation valve's consistency contract."""
+
+import pytest
+
+from repro.core import ClusterConfig, ReplicatedDatabase
+from repro.histories import RunHistory, is_session_consistent, is_strongly_consistent
+from repro.metrics import MetricsCollector
+from repro.workloads import MicroBenchmark
+from repro.workloads.clients import OpenLoopLoad
+
+
+class TestConfigValidation:
+    def test_overload_knobs_validated(self):
+        with pytest.raises(ValueError, match="mpl_cap"):
+            ClusterConfig(mpl_cap=0)
+        with pytest.raises(ValueError, match="admission_queue_depth"):
+            ClusterConfig(mpl_cap=4, admission_queue_depth=-1)
+        with pytest.raises(ValueError, match="certifier_queue_bound"):
+            ClusterConfig(certifier_queue_bound=0)
+
+    def test_dependent_knobs_require_admission_control(self):
+        with pytest.raises(ValueError, match="shed_deadline_ms requires"):
+            ClusterConfig(shed_deadline_ms=100.0)
+        with pytest.raises(ValueError, match="degradation_policy requires"):
+            ClusterConfig(degradation_policy="session")
+
+    def test_degradation_policy_resolved_eagerly(self):
+        with pytest.raises(ValueError, match="unknown consistency policy"):
+            ClusterConfig(mpl_cap=4, degradation_policy="definitely-not-a-policy")
+
+    def test_overload_protected_preset(self):
+        config = ClusterConfig.overload_protected()
+        settings = config.overload_settings
+        assert settings is not None
+        assert settings.mpl_cap == 8
+        assert settings.shed_deadline_ms == 500.0
+        assert config.certifier_queue_bound == 64
+        # Defaults-off: the plain config resolves to no settings at all.
+        assert ClusterConfig().overload_settings is None
+
+
+class TestSaturationBehavior:
+    def run_overloaded(self, **config_overrides):
+        config = ClusterConfig.overload_protected(
+            num_replicas=2, seed=4, **config_overrides
+        )
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=10, rows_per_table=200), config
+        )
+        collector = MetricsCollector()
+        load = OpenLoopLoad(
+            cluster.env,
+            cluster.network,
+            cluster.workload,
+            collector,
+            rate_tps=6_000.0,
+            rngs=cluster.rngs,
+        )
+        cluster.run(1_000.0)
+        return cluster, collector, load
+
+    def test_sheds_past_capacity_but_keeps_committing(self):
+        cluster, collector, load = self.run_overloaded()
+        balancer = cluster.load_balancer
+        assert balancer.shed_count + balancer.deadline_shed_count > 0
+        assert collector.summary().committed > 0
+        # Bounded queues: pending never exceeds replicas * queue depth.
+        assert balancer.pending_depth() <= 2 * 32
+        # Every shed request got an explicit overloaded response (minus the
+        # handful still on the wire when the run stopped).
+        total_shed = balancer.shed_count + balancer.deadline_shed_count
+        assert 0 < total_shed - load.shed_responses < 20 or load.shed_responses == total_shed
+
+    def test_stats_exposes_overload_counters(self):
+        cluster, collector, load = self.run_overloaded()
+        stats = cluster.stats()
+        balancer = stats["balancer"]
+        for key in ("pending_depth", "shed", "deadline_shed", "degraded", "valve_open"):
+            assert key in balancer
+        assert balancer["shed"] + balancer["deadline_shed"] > 0
+        assert "certifier_backpressure_rejects" in stats
+        network = stats["network"]
+        assert network["dropped_by_reason"].get("overload-shed") == balancer["shed"] + balancer["deadline_shed"]
+
+    def test_defaults_off_cluster_never_sheds(self):
+        config = ClusterConfig(num_replicas=2, seed=4)
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=10, rows_per_table=200), config
+        )
+        collector = MetricsCollector()
+        OpenLoopLoad(
+            cluster.env, cluster.network, cluster.workload, collector,
+            rate_tps=6_000.0, rngs=cluster.rngs,
+        )
+        cluster.run(1_000.0)
+        balancer = cluster.load_balancer
+        assert balancer.shed_count == 0
+        assert balancer.pending_depth() == 0  # no admission queues at all
+        assert cluster.stats()["balancer"]["valve_open"] is False
+
+
+class TestGracefulDegradation:
+    """The valve's contract: tagged reads drop to SESSION guarantees while
+    overloaded, everything else stays strong, and the system is back to
+    strong consistency within bounded time/versions of the load dropping."""
+
+    def run_spike(self):
+        config = ClusterConfig(
+            num_replicas=2,
+            level="sc-coarse",
+            seed=9,
+            mpl_cap=2,
+            admission_queue_depth=32,
+            degradation_policy="session",
+            valve_high=8,
+            valve_low=2,
+        )
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=10, rows_per_table=200), config
+        )
+        collector = MetricsCollector()
+        load = OpenLoopLoad(
+            cluster.env,
+            cluster.network,
+            cluster.workload,
+            collector,
+            rate_tps=4_000.0,
+            rngs=cluster.rngs,
+            degradable_reads=True,
+        )
+        cluster.run(1_000.0)  # saturated: the valve must open
+        load.set_rate(50.0)
+        drop_time = cluster.env.now
+        drop_version = cluster.load_balancer.v_system
+        cluster.run(3_000.0)  # drained: the valve must close again
+        return cluster, load, drop_time, drop_version
+
+    def test_valve_opens_under_load_and_closes_after(self):
+        cluster, load, drop_time, drop_version = self.run_spike()
+        balancer = cluster.load_balancer
+        actions = [action for _, action, _ in balancer.valve_events]
+        assert "open" in actions
+        assert balancer.degraded_count > 0
+        assert not balancer.valve_open
+        assert actions[-1] == "close"
+        close_time, _, close_version = balancer.valve_events[-1]
+        # Strong consistency is restored within bounded time and versions
+        # of the load dropping (the queues just have to drain).
+        assert close_time - drop_time < 2_000.0
+        assert close_version - drop_version < 100
+
+    def test_degraded_run_is_session_consistent(self, ):
+        cluster, load, drop_time, drop_version = self.run_spike()
+        history = cluster.history
+        assert len(history) > 0
+        # Degraded reads may violate strict strong consistency (that is the
+        # deal), but the whole mixed run keeps session guarantees.
+        assert is_session_consistent(history)
+
+    def test_strong_consistency_restored_after_close(self):
+        cluster, load, drop_time, drop_version = self.run_spike()
+        balancer = cluster.load_balancer
+        close_time = balancer.valve_events[-1][0]
+        after = RunHistory()
+        for record in cluster.history:
+            if record.submit_time >= close_time:
+                after.add(record)
+        assert len(after) > 0
+        assert is_strongly_consistent(after, observational=False)

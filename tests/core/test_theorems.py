@@ -9,7 +9,6 @@ EAGER must pass the Definition 1 checker.  (The simulation is deterministic
 per seed, so each failing example would be perfectly reproducible.)
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase

@@ -11,7 +11,6 @@ still satisfy its invariants:
   certifier's version with identical data.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase

@@ -4,7 +4,6 @@ end-to-end detection path (no oracle — the middleware notices on its own)."""
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase
 from repro.faults import FaultInjector
 from repro.middleware import HeartbeatAck, HeartbeatMonitor, HeartbeatPing, HeartbeatSettings
-from repro.sim import Environment
 from repro.workloads import MicroBenchmark
 
 from ..conftest import make_cluster

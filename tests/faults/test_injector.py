@@ -134,6 +134,59 @@ class TestEagerAvailability:
         assert update_acks_after > 0
 
 
+class TestOverloadBurst:
+    def test_burst_sends_requested_count_of_read_only_work(self):
+        cluster = make_cluster(num_replicas=3, rows=50)
+        injector = FaultInjector(cluster)
+        before = cluster.replica("replica-1").committed_count
+        sent = injector.overload("replica-1", requests=25)
+        assert sent == 25
+        cluster.run(500.0)
+        # Read-only bursts execute on the target replica but never reach
+        # certification: local commits rise, the global version does not.
+        assert cluster.replica("replica-1").committed_count == before + 25
+        assert cluster.commit_version == 0
+
+    def test_responses_dropped_as_unknown_request_ids(self):
+        cluster = make_cluster(num_replicas=3, rows=50)
+        injector = FaultInjector(cluster)
+        injector.overload("replica-0", requests=10)
+        cluster.run(500.0)
+        # The balancer never tracked these requests, so nothing leaks into
+        # its outstanding table (or into the acknowledged history).
+        assert cluster.load_balancer.outstanding_count == 0
+        assert len(cluster.history) == 0
+
+    def test_burst_uses_dedicated_deterministic_stream(self):
+        """The burst draws from its own named stream ("injector:overload"),
+        so identically seeded runs replay the same burst — and client
+        streams are never consumed by it."""
+        def run_once():
+            cluster, collector = loaded_cluster(clients=4)
+            injector = FaultInjector(cluster)
+            cluster.run(300.0)
+            injector.overload("replica-2", requests=30)
+            cluster.run(1_500.0)
+            return (
+                cluster.commit_version,
+                sum(p.committed_count for p in cluster.replicas.values()),
+            )
+
+        assert run_once() == run_once()
+
+    def test_unknown_replica_rejected(self):
+        cluster = make_cluster(num_replicas=3, rows=50)
+        injector = FaultInjector(cluster)
+        with pytest.raises(ValueError, match="unknown replica"):
+            injector.overload("replica-9")
+
+    def test_request_count_validated(self):
+        cluster = make_cluster(num_replicas=3, rows=50)
+        injector = FaultInjector(cluster)
+        with pytest.raises(ValueError, match="requests"):
+            injector.overload("replica-0", requests=0)
+
+
 class TestCertifierFailover:
     def test_failover_preserves_decision_log(self):
         cluster, _ = loaded_cluster()
@@ -167,8 +220,5 @@ class TestCertifierFailover:
         cluster.run(400.0)
         injector.failover_certifier()
         cluster.run(1_000.0)
-        failover_aborts = [
-            s for s in collector.samples if not s.committed
-        ]
         # Clients all received answers: nothing hangs.
         assert cluster.load_balancer.outstanding_count <= 8

@@ -4,7 +4,6 @@ import pytest
 
 from repro.histories import (
     AbstractHistory,
-    OpKind,
     abort,
     begin,
     commit,

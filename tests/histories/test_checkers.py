@@ -1,6 +1,5 @@
 """Tests for run-history checkers on hand-crafted records."""
 
-import pytest
 
 from repro.histories import (
     RunHistory,

@@ -1,6 +1,5 @@
 """Tests for the metrics collector and aggregation."""
 
-import math
 
 import pytest
 

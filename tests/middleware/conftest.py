@@ -12,7 +12,7 @@ from repro.middleware import (
     ReplicaPerformance,
     ReplicaProxy,
 )
-from repro.sim import Environment, LatencyModel, Network, RngRegistry
+from repro.sim import LatencyModel, Network, RngRegistry
 from repro.storage import Column, StorageEngine, TableSchema
 from repro.workloads.base import TemplateCatalog, TransactionTemplate
 

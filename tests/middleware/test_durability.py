@@ -114,3 +114,38 @@ class TestFileSink:
         assert [(o.table, o.key, o.kind) for o in ops_a] == [
             (o.table, o.key, o.kind) for o in ops_b
         ]
+
+    def test_file_sink_round_trips_request_ids(self, tmp_path):
+        path = str(tmp_path / "decisions.log")
+        log = DecisionLog(path)
+        ws = WriteSet([WriteOp("t", 1, OpKind.INSERT, {"id": 1, "v": 10})])
+        log.append(LogEntry(1, txn_id=100, origin="replica-0", writeset=ws,
+                            request_id=7))
+        log.append(entry(2))  # request_id left at its default of 0
+        log.close()
+        loaded = DecisionLog.load(path)
+        assert loaded.entry(1).request_id == 7
+        assert loaded.entry(2).request_id == 0
+
+    def test_load_accepts_legacy_lines_without_request_id(self, tmp_path):
+        """Sinks written before ``request_id`` existed have no "req" key;
+        loading them must yield entries with ``request_id=0``, not crash."""
+        import json
+
+        path = tmp_path / "decisions.log"
+        log = DecisionLog(str(path))
+        log.append(entry(1, key=7, value=42))
+        log.append(entry(2, key=8, value=43))
+        log.close()
+        stripped = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            data = json.loads(line)
+            del data["req"]
+            stripped.append(json.dumps(data))
+        legacy = tmp_path / "legacy.log"
+        legacy.write_text("\n".join(stripped) + "\n", encoding="utf-8")
+
+        loaded = DecisionLog.load(str(legacy))
+        assert loaded.last_version == 2
+        assert [loaded.entry(v).request_id for v in (1, 2)] == [0, 0]
+        assert loaded.entry(1).writeset.op_for("t", 7).values == {"id": 7, "v": 42}

@@ -5,7 +5,7 @@ import pytest
 from repro.core.consistency import ConsistencyLevel
 from repro.histories import RunHistory
 from repro.metrics import StageTimings
-from repro.middleware import ClientRequest, ClientResponse, LoadBalancer, RoutedRequest, TxnResponse
+from repro.middleware import ClientRequest, ClientResponse, LoadBalancer, TxnResponse
 
 from .conftest import fixed_latency_network, make_catalog
 

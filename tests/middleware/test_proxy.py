@@ -1,10 +1,9 @@
 """Tests for the replica proxy: stages, refresh ordering, early
 certification, read-only fast path."""
 
-import pytest
 
 from repro.core.consistency import ConsistencyLevel
-from repro.middleware import ClientRequest, RefreshWriteset, RoutedRequest, TxnResponse
+from repro.middleware import ClientRequest, RefreshWriteset, RoutedRequest
 from repro.storage import OpKind, WriteOp, WriteSet
 
 from .conftest import Harness

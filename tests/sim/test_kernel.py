@@ -4,12 +4,9 @@ import pytest
 
 from repro.sim import (
     AllOf,
-    AnyOf,
     Environment,
-    Event,
     Interrupt,
     SimulationError,
-    Timeout,
 )
 
 

@@ -1,8 +1,7 @@
 """Edge-case kernel tests: StopProcess, failing triggers, nested processes."""
 
-import pytest
 
-from repro.sim import Environment, Event, SimulationError, StopProcess
+from repro.sim import StopProcess
 
 
 class TestStopProcess:

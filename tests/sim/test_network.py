@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, LatencyModel, Network, RngRegistry
+from repro.sim import LatencyModel, Network, RngRegistry
 
 
 @pytest.fixture
@@ -143,3 +143,51 @@ class TestTaps:
         net.take_down("a")
         net.send("x", "a", "m")
         assert seen == ["m"]
+
+
+class TestDropReasons:
+    def test_send_to_down_endpoint(self, env, net):
+        net.register("a")
+        net.take_down("a")
+        net.send("src", "a", "m")
+        env.run()
+        assert net.dropped_count == 1
+        assert net.dropped_by_reason == {"endpoint-down": 1}
+
+    def test_send_over_cut_link(self, env, net):
+        net.register("a")
+        net.partition_link("src", "a")
+        net.send("src", "a", "m")
+        env.run()
+        assert net.dropped_by_reason == {"link-cut": 1}
+
+    def test_in_flight_crash_is_endpoint_down(self, env, net):
+        net.register("a")
+        net.send("src", "a", "m")
+        net.take_down("a")
+        env.run()
+        assert net.dropped_by_reason == {"endpoint-down": 1}
+
+    def test_in_flight_cut_is_link_cut(self, env, net):
+        net.register("a")
+        net.send("src", "a", "m")
+        net.partition_link("src", "a")
+        env.run()
+        assert net.dropped_by_reason == {"link-cut": 1}
+
+    def test_record_drop_accumulates_custom_reason(self, env, net):
+        net.record_drop("overload-shed")
+        net.record_drop("overload-shed")
+        assert net.dropped_count == 2
+        assert net.dropped_by_reason == {"overload-shed": 2}
+
+    def test_reasons_sum_to_dropped_count(self, env, net):
+        net.register("a")
+        net.take_down("a")
+        net.send("src", "a", "m")
+        net.bring_up("a")
+        net.partition_link("src", "a")
+        net.send("src", "a", "m")
+        net.record_drop("overload-shed")
+        env.run()
+        assert sum(net.dropped_by_reason.values()) == net.dropped_count == 3

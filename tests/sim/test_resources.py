@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, Resource, SimulationError, Store
+from repro.sim import Resource, SimulationError, Store
 
 
 class TestResource:

@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import Rng, RngRegistry
+from repro.sim import RngRegistry
 
 
 class TestRegistry:

@@ -3,10 +3,7 @@
 import pytest
 
 from repro.storage import (
-    Column,
     DuplicateKeyError,
-    StorageEngine,
-    TableSchema,
     TransactionStateError,
     UnknownRowError,
     WriteConflictError,

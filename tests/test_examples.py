@@ -6,7 +6,6 @@ are marked ``slow``.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,7 +1,6 @@
 """Cross-cutting integration tests: durability file sink, vacuum under
 faults, stats during recovery, determinism of whole loaded runs."""
 
-import pytest
 
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase
 from repro.faults import FaultInjector

@@ -7,7 +7,6 @@ call sequences through the full replicated system must produce identical
 final database states.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase

@@ -192,7 +192,6 @@ class TestUnderLoad:
         cluster.run(1_000.0)
         # Stop issuing by running only the propagation forward.
         cluster.quiesce(max_wait_ms=10_000.0)
-        versions = {p.engine.database.version for p in cluster.replicas.values()}
         # Clients keep running during quiesce, so allow the tail to differ
         # by the in-flight window; check data identity at a common version.
         common = min(p.engine.database.version for p in cluster.replicas.values())

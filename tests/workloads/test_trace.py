@@ -5,7 +5,7 @@ import pytest
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase
 from repro.metrics import MetricsCollector
 from repro.sim import RngRegistry
-from repro.workloads import MicroBenchmark, TraceRecorder, TraceWorkload, TxnCall
+from repro.workloads import MicroBenchmark, TraceRecorder, TraceWorkload
 
 
 @pytest.fixture
