@@ -1,0 +1,350 @@
+"""Partitioned certification: shard scaling and decision identity.
+
+The partitioned commit pipeline splits the certifier into one
+:class:`~repro.middleware.shards.CertifierShard` per table-group partition.
+Single-partition transactions certify, log and refresh with zero
+cross-shard coordination; cross-partition transactions take the
+deterministic multi-shard path (shards acquired in canonical partition
+order, decision stamped with a per-partition predecessor vector).
+
+This bench drives 1, 2 and 4 shards through identical request streams at
+varying cross-partition mixes and reports:
+
+* a **decision-identity check** — every shard count must produce the same
+  certify/abort decisions, conflicting versions and global commit versions
+  as the single monolithic certifier;
+* shard counters: single- vs cross-partition commits, cross-shard stalls,
+  per-shard commit distribution;
+* an **end-to-end acceptance run** — a 4-partition cluster under a
+  single-partition-dominant workload (one cross-partition update type in
+  24) must keep cross-shard commits under 5% of all commits with the
+  strong-consistency checker green.
+
+Run standalone (writes ``BENCH_partition.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_partitioned_certifier.py
+
+or as the CI smoke (small streams, counter-based assertions only —
+wall-clock is never asserted, so shared runners can't flake it)::
+
+    PYTHONPATH=src python benchmarks/bench_partitioned_certifier.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core import ClusterConfig, PartitionMap, ReplicatedDatabase
+from repro.core.consistency import ConsistencyLevel
+from repro.histories import is_strongly_consistent
+from repro.metrics import MetricsCollector
+from repro.middleware import (
+    Certifier,
+    CertifierPerformance,
+    CertifyReply,
+    CertifyRequest,
+    PerformanceParams,
+)
+from repro.sim import Environment, LatencyModel, Network, RngRegistry
+from repro.storage.writeset import OpKind, WriteOp, WriteSet
+from repro.workloads.base import TemplateCatalog, TransactionTemplate
+from repro.workloads.microbench import MicroBenchmark, _read_body, _update_body
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TABLES = ("t0", "t1", "t2", "t3")
+GROUPS = {
+    1: None,
+    2: (("t0", "t1"), ("t2", "t3")),
+    4: (("t0",), ("t1",), ("t2",), ("t3",)),
+}
+SHARD_COUNTS = (1, 2, 4)
+CROSS_MIXES = (0.0, 0.1, 0.3)
+
+
+def quiet_params():
+    return PerformanceParams(cv=1e-6, replica_speed_spread=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Part A: bare-certifier decision identity at 1/2/4 shards
+# ---------------------------------------------------------------------------
+
+
+def run_certification(num_partitions, steps, cross_fraction, seed=9):
+    """Drive one certifier sequentially through a seeded request stream.
+
+    ``cross_fraction`` of the requests write two tables (guaranteed to be
+    two *partitions* at 4 one-table groups); the rest write one.  The
+    stream feeds back the observed commit version, so identical decisions
+    keep the streams identical across shard counts by construction.
+    """
+    env = Environment()
+    network = Network(
+        env, RngRegistry(42).stream("net"), LatencyModel(base=0.05, jitter=0.0)
+    )
+    origin = network.register("replica-0")
+    partition_map = (
+        PartitionMap(num_partitions, table_groups=GROUPS[num_partitions])
+        if num_partitions > 1
+        else None
+    )
+    certifier = Certifier(
+        env=env,
+        network=network,
+        perf=CertifierPerformance(quiet_params(), RngRegistry(1).stream("cert")),
+        replica_names=["replica-0"],
+        level=ConsistencyLevel.SC_COARSE,
+        partition_map=partition_map,
+    )
+    rng = random.Random(seed)
+    v_commit = 0
+    decisions = []
+    started = time.perf_counter()
+    for txn_id in range(1, steps + 1):
+        num_tables = 2 if rng.random() < cross_fraction else 1
+        tables = rng.sample(TABLES, num_tables)
+        ops = [
+            WriteOp(table, rng.randrange(16), OpKind.UPDATE, {"id": 0, "v": txn_id})
+            for table in tables
+        ]
+        snapshot = max(0, v_commit - rng.randrange(8))
+        network.send(
+            "replica-0",
+            certifier.name,
+            CertifyRequest(
+                txn_id=txn_id,
+                origin="replica-0",
+                snapshot_version=snapshot,
+                writeset=WriteSet(ops),
+                request_id=txn_id,
+            ),
+        )
+        env.run()
+        while len(origin):
+            message = origin.receive().value
+            if isinstance(message, CertifyReply):
+                decisions.append(
+                    (message.certified, message.commit_version, message.conflict_with)
+                )
+                if message.certified:
+                    v_commit = message.commit_version
+    wall_s = time.perf_counter() - started
+    stats = certifier.stats()
+    return {
+        "num_partitions": num_partitions,
+        "cross_fraction": cross_fraction,
+        "steps": steps,
+        "decisions": decisions,
+        "committed": sum(1 for d in decisions if d[0]),
+        "aborted": sum(1 for d in decisions if not d[0]),
+        "single_partition_commits": stats["single_partition_commits"],
+        "cross_partition_commits": stats["cross_partition_commits"],
+        "cross_shard_stalls": stats["cross_shard_stalls"],
+        "shard_commits": {
+            p: shard["certified"] for p, shard in stats["shards"].items()
+        },
+        "wall_s": round(wall_s, 6),
+    }
+
+
+def certification_rows(steps):
+    rows = []
+    for cross_fraction in CROSS_MIXES:
+        reference = run_certification(1, steps, cross_fraction)
+        row = {
+            "cross_fraction": cross_fraction,
+            "steps": steps,
+            "committed": reference["committed"],
+            "aborted": reference["aborted"],
+            "decisions_identical": True,
+            "per_shard": {},
+        }
+        for num_partitions in SHARD_COUNTS[1:]:
+            result = run_certification(num_partitions, steps, cross_fraction)
+            assert result["decisions"] == reference["decisions"], (
+                f"decision divergence at {num_partitions} partitions, "
+                f"cross mix {cross_fraction}"
+            )
+            row["per_shard"][num_partitions] = {
+                "single_partition_commits": result["single_partition_commits"],
+                "cross_partition_commits": result["cross_partition_commits"],
+                "cross_shard_stalls": result["cross_shard_stalls"],
+                "shard_commits": result["shard_commits"],
+                "wall_s": result["wall_s"],
+            }
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Part B: end-to-end acceptance — single-partition-dominant cluster run
+# ---------------------------------------------------------------------------
+
+
+class MostlySinglePartitionBench(MicroBenchmark):
+    """MicroBenchmark variant with exactly one cross-partition update type:
+    update type 0 writes two tables (two partitions at one-table groups);
+    the other 23 update types and every read stay single-table."""
+
+    name = "microbench-xpart"
+
+    def __init__(self, rows_per_table=200):
+        super().__init__(
+            update_types=24, total_types=40, num_tables=4,
+            rows_per_table=rows_per_table,
+        )
+
+    def _build_catalog(self) -> TemplateCatalog:
+        catalog = TemplateCatalog()
+        for type_index in range(self.total_types):
+            span = 2 if type_index == 0 else 1
+            tables = tuple(
+                self.tables[(type_index + offset) % self.num_tables]
+                for offset in range(span)
+            )
+            is_update = type_index < self.update_types
+            kind = "update" if is_update else "read"
+            catalog.register(
+                TransactionTemplate(
+                    name=f"micro-{kind}-{type_index}",
+                    table_set=frozenset(tables),
+                    body=_update_body(tables) if is_update else _read_body(tables),
+                    is_update=is_update,
+                )
+            )
+        return catalog
+
+
+def run_end_to_end(duration_ms, clients=6, seed=11):
+    cluster = ReplicatedDatabase(
+        MostlySinglePartitionBench(),
+        ClusterConfig(
+            num_replicas=4,
+            level="sc-coarse",
+            seed=seed,
+            num_partitions=4,
+            partition_table_groups=GROUPS[4],
+        ),
+    )
+    collector = MetricsCollector(measure_start=0.0)
+    cluster.add_clients(clients, collector)
+    cluster.run(duration_ms)
+    cluster.quiesce()
+    stats = cluster.certifier.stats()
+    total = stats["single_partition_commits"] + stats["cross_partition_commits"]
+    return {
+        "duration_ms": duration_ms,
+        "committed": collector.summary().committed,
+        "certified": stats["certified"],
+        "single_partition_commits": stats["single_partition_commits"],
+        "cross_partition_commits": stats["cross_partition_commits"],
+        "cross_commit_fraction": round(
+            stats["cross_partition_commits"] / max(total, 1), 4
+        ),
+        "cross_shard_stalls": stats["cross_shard_stalls"],
+        "shard_commits": {
+            p: shard["certified"] for p, shard in stats["shards"].items()
+        },
+        "strongly_consistent": is_strongly_consistent(cluster.history),
+        "replicas_converged": all(
+            proxy.v_local == cluster.commit_version
+            for proxy in cluster.replicas.values()
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def smoke():
+    """CI smoke: small streams, deterministic counter assertions."""
+    rows = certification_rows(steps=120)
+    for row in rows:
+        assert row["decisions_identical"]
+        for num_partitions, result in row["per_shard"].items():
+            total = (
+                result["single_partition_commits"]
+                + result["cross_partition_commits"]
+            )
+            assert total == row["committed"]
+            if row["cross_fraction"] == 0.0:
+                assert result["cross_partition_commits"] == 0
+            else:
+                assert result["cross_partition_commits"] > 0
+    spread = rows[0]["per_shard"][4]["shard_commits"]
+    assert sum(1 for count in spread.values() if count > 0) >= 2, (
+        f"commits did not spread across shards: {spread}"
+    )
+    end_to_end = run_end_to_end(duration_ms=1_200.0)
+    assert end_to_end["committed"] > 200
+    assert end_to_end["cross_partition_commits"] > 0
+    assert end_to_end["cross_commit_fraction"] < 0.05, end_to_end
+    assert end_to_end["strongly_consistent"]
+    assert end_to_end["replicas_converged"]
+    print("partitioned certifier smoke OK:")
+    for row in rows:
+        counters = row["per_shard"][4]
+        print(
+            f"  cross mix {row['cross_fraction']:<4}: {row['committed']:>4} commits"
+            f" ({counters['cross_partition_commits']} cross,"
+            f" {counters['cross_shard_stalls']} stalls) — decisions identical"
+        )
+    print(
+        f"  end-to-end 4p: {end_to_end['committed']} committed,"
+        f" cross fraction {end_to_end['cross_commit_fraction']:.2%},"
+        f" checkers green"
+    )
+
+
+def full(output):
+    rows = certification_rows(steps=400)
+    end_to_end = run_end_to_end(duration_ms=2_500.0)
+    result = {
+        "bench": "bench_partitioned_certifier",
+        "shard_counts": list(SHARD_COUNTS),
+        "certification": rows,
+        "end_to_end": end_to_end,
+        "acceptance": {
+            "decisions_identical": all(r["decisions_identical"] for r in rows),
+            "cross_commit_fraction": end_to_end["cross_commit_fraction"],
+            "cross_fraction_under_5pct": end_to_end["cross_commit_fraction"] < 0.05,
+            "strongly_consistent": end_to_end["strongly_consistent"],
+            "replicas_converged": end_to_end["replicas_converged"],
+        },
+    }
+    text = json.dumps(result, indent=2)
+    output.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"\nwrote {output}")
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small streams + assertions only (CI smoke); writes no file",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_partition.json",
+        help="where the full run writes its JSON record",
+    )
+    arguments = parser.parse_args()
+    if arguments.smoke:
+        smoke()
+    else:
+        full(arguments.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ clients.
 
 from .cluster import ClusterConfig, ReplicatedDatabase
 from .consistency import ConsistencyLevel
+from .partition import PartitionMap
 from .policy import (
     BoundedStalenessPolicy,
     ConsistencyPolicy,
@@ -23,6 +24,7 @@ __all__ = [
     "ClusterConfig",
     "ConsistencyLevel",
     "ConsistencyPolicy",
+    "PartitionMap",
     "ReplicatedDatabase",
     "SyncSession",
     "VersionTracker",

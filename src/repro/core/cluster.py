@@ -32,15 +32,16 @@ from ..middleware.perfmodel import (
     draw_speed_factors,
 )
 from ..middleware.proxy import ReplicaProxy
+from ..middleware.standby import CertifierStandby
 from ..sim.kernel import Environment
 from ..sim.network import LatencyModel, Network
 from ..sim.rng import RngRegistry
 from ..storage.database import Database
 from ..storage.engine import StorageEngine
-from ..middleware.standby import CertifierStandby
 from ..workloads.base import Workload
 from ..workloads.clients import ClientPool
 from .consistency import ConsistencyLevel
+from .partition import PartitionMap
 from .policy import ConsistencyPolicy, resolve_policy
 from .session import SyncSession
 
@@ -89,6 +90,16 @@ class ClusterConfig:
     batch_refresh_apply: bool = False
     #: longest run of versions one batched apply pass may drain
     refresh_batch_limit: int = 32
+    # -- partitioned certification (see docs/PROTOCOL.md) ------------------
+    #: number of table-group certifier shards; 1 (the default) keeps the
+    #: single monolithic certification pipeline byte-identical
+    num_partitions: int = 1
+    #: explicit table→partition assignment as a tuple of table tuples
+    #: (group i → partition i); unlisted tables hash onto a partition
+    partition_table_groups: Optional[tuple] = None
+    #: purge a departed replica's pinned replication-horizon entry after
+    #: this grace period (None = pin forever, the legacy behaviour)
+    departed_grace_ms: Optional[float] = None
     # -- self-healing (all off by default; see docs/PROTOCOL.md) -----------
     #: heartbeat period for failure detection (None = no heartbeats: faults
     #: are only visible through explicit injector calls, as before)
@@ -142,6 +153,12 @@ class ClusterConfig:
             )
         if self.refresh_batch_limit < 1:
             raise ValueError("refresh_batch_limit must be >= 1")
+        # Fail fast on an invalid partition layout (count/groups).
+        PartitionMap(self.num_partitions, table_groups=self.partition_table_groups)
+        if self.routing == "partition-affinity" and self.num_partitions < 2:
+            raise ValueError("partition-affinity routing requires num_partitions > 1")
+        if self.departed_grace_ms is not None and self.departed_grace_ms <= 0:
+            raise ValueError("departed_grace_ms must be positive")
         if self.mpl_cap is not None and self.mpl_cap < 1:
             raise ValueError("mpl_cap must be >= 1")
         if self.admission_queue_depth < 0:
@@ -190,6 +207,15 @@ class ClusterConfig:
         )
         settings.update(overrides)
         return cls(**settings)
+
+    @property
+    def partition_map(self) -> Optional[PartitionMap]:
+        """The resolved table-group partition map — **None** for the default
+        single-partition deployment, so every component takes its unchanged
+        legacy code path (trace identity)."""
+        if self.num_partitions == 1:
+            return None
+        return PartitionMap(self.num_partitions, table_groups=self.partition_table_groups)
 
     @property
     def heartbeat_settings(self) -> Optional[HeartbeatSettings]:
@@ -241,6 +267,8 @@ class ReplicatedDatabase:
         schemas = list(workload.schemas())
         heartbeat = config.heartbeat_settings
         standby_name = "certifier-standby" if config.standby_certifier else None
+        #: None for num_partitions=1 — every layer then runs its legacy path
+        self.partition_map = config.partition_map
         for name, speed in zip(self.replica_names, speed_factors):
             database = Database(name=f"{name}-db")
             for schema in schemas:
@@ -269,6 +297,7 @@ class ReplicatedDatabase:
                 certify_timeout_ms=config.certify_timeout_ms,
                 batch_refresh_apply=config.batch_refresh_apply,
                 refresh_batch_limit=config.refresh_batch_limit,
+                partition_map=self.partition_map,
             )
 
         self.certifier = Certifier(
@@ -282,6 +311,8 @@ class ReplicatedDatabase:
             standby_name=standby_name,
             certification_mode=config.certification_mode,
             inbound_queue_bound=config.certifier_queue_bound,
+            partition_map=self.partition_map,
+            departed_grace_ms=config.departed_grace_ms,
         )
         self.load_balancer = LoadBalancer(
             env=self.env,
@@ -297,6 +328,7 @@ class ReplicatedDatabase:
             request_deadline_ms=config.request_deadline_ms,
             max_attempts=config.max_attempts,
             overload=config.overload_settings,
+            partition_map=self.partition_map,
         )
         self.standby: Optional[CertifierStandby] = None
         if config.standby_certifier:
@@ -312,6 +344,8 @@ class ReplicatedDatabase:
                 heartbeat=heartbeat,
                 promote_hook=self._adopt_certifier,
                 certification_mode=config.certification_mode,
+                partition_map=self.partition_map,
+                departed_grace_ms=config.departed_grace_ms,
             )
         self._session_counter = 0
         self.client_pool: Optional[ClientPool] = None
@@ -404,6 +438,10 @@ class ReplicatedDatabase:
             "certification_mode": self.certifier.certification_mode,
             "row_comparisons": self.certifier.row_comparisons,
             "certifier_backpressure_rejects": self.certifier.backpressure_rejects,
+            "partition": {
+                "certifier": self.certifier.stats(),
+                "balancer": self.load_balancer.stats(),
+            },
             "network": {
                 "sent": self.network.sent_count,
                 "dropped": self.network.dropped_count,

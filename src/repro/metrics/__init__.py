@@ -2,7 +2,7 @@
 
 from .ascii_chart import line_chart
 from .collector import MetricsCollector, MetricsSummary, TxnSample
-from .report import format_breakdown, format_series, format_table
+from .report import format_breakdown, format_partition_stats, format_series, format_table
 from .stages import STAGE_NAMES, StageTimings
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "StageTimings",
     "TxnSample",
     "format_breakdown",
+    "format_partition_stats",
     "format_series",
     "format_table",
 ]

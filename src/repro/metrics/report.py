@@ -11,7 +11,7 @@ from typing import Mapping, Sequence
 
 from .stages import STAGE_NAMES, StageTimings
 
-__all__ = ["format_table", "format_series", "format_breakdown"]
+__all__ = ["format_table", "format_series", "format_breakdown", "format_partition_stats"]
 
 
 def format_table(
@@ -71,3 +71,53 @@ def format_breakdown(
         d = stages.as_dict()
         rows.append([label, *(d[s] for s in STAGE_NAMES), stages.total])
     return format_table(headers, rows, title=title, floatfmt="{:.2f}")
+
+
+def format_partition_stats(stats: Mapping, title: str = "") -> str:
+    """Render the partitioned-commit-pipeline view of a cluster stats dict.
+
+    ``stats`` is either the full :meth:`~repro.core.cluster.ReplicatedDatabase.stats`
+    snapshot (the ``"partition"`` key is used) or that key's value directly:
+    ``{"certifier": Certifier.stats(), "balancer": LoadBalancer.stats()}``.
+    One summary block plus one row per certifier shard.
+    """
+    partition = stats.get("partition", stats)
+    certifier = partition.get("certifier", {})
+    balancer = partition.get("balancer", {})
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "partitions={}  single-commits={}  cross-commits={}  "
+        "cross-shard-stalls={}  cross-dispatched={}".format(
+            certifier.get("num_partitions", 1),
+            certifier.get("single_partition_commits", 0),
+            certifier.get("cross_partition_commits", 0),
+            certifier.get("cross_shard_stalls", 0),
+            balancer.get("cross_partition_dispatched", 0),
+        )
+    )
+    lines.append(
+        "departed-purged={}  stale-recovery-refusals={}".format(
+            certifier.get("departed_purged", 0),
+            certifier.get("stale_recovery_refusals", 0),
+        )
+    )
+    shards = certifier.get("shards", {})
+    if shards:
+        versions = balancer.get("partition_versions", {})
+        headers = ["shard", "certified", "aborts", "queue", "log", "last_global", "v_ack"]
+        rows = [
+            [
+                p,
+                shard.get("certified", 0),
+                shard.get("aborts", 0),
+                shard.get("queue_length", 0),
+                shard.get("log_length", 0),
+                shard.get("last_global", 0),
+                versions.get(p, 0),
+            ]
+            for p, shard in sorted(shards.items())
+        ]
+        lines.append(format_table(headers, rows))
+    return "\n".join(lines)

@@ -36,12 +36,14 @@ from .messages import (
 )
 from .perfmodel import CertifierPerformance, PerformanceParams, ReplicaPerformance
 from .proxy import ReplicaProxy
+from .shards import CertifierShard
 from .standby import CertifierStandby
 
 __all__ = [
     "CertificationIndex",
     "Certifier",
     "CertifierPerformance",
+    "CertifierShard",
     "CertifierStandby",
     "CertifierSuspected",
     "CertifyReply",

@@ -40,10 +40,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.partition import PartitionMap
 from ..core.policy import resolve_policy
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from ..sim.resources import Resource
+from ..storage.writeset import WriteSet
 from .certindex import CertificationIndex
 from .durability import DecisionLog, LogEntry
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
@@ -63,6 +65,7 @@ from .messages import (
     StandbyPromoted,
 )
 from .perfmodel import CertifierPerformance
+from .shards import CertifierShard
 
 __all__ = ["Certifier"]
 
@@ -85,6 +88,9 @@ class Certifier:
         epoch: int = 1,
         certification_mode: str = "index",
         inbound_queue_bound: Optional[int] = None,
+        partition_map: Optional[PartitionMap] = None,
+        shard_logs: Optional[dict] = None,
+        departed_grace_ms: Optional[float] = None,
     ):
         if inbound_queue_bound is not None and inbound_queue_bound < 1:
             raise ValueError("inbound_queue_bound must be >= 1")
@@ -106,11 +112,32 @@ class Certifier:
         #: "scan" (the reference linear window scan, kept for differential
         #: testing); both produce byte-identical decisions.
         self.certification_mode = certification_mode
+        #: table-group partitioning of the commit pipeline (None or a
+        #: trivial map = the legacy single-pipeline certifier, which stays
+        #: trace-identical to the pre-partitioning code)
+        self.partition_map = partition_map
+        self.partitioned = (
+            partition_map is not None and not partition_map.is_trivial
+        )
+        #: per-partition shards: independent log + index + service slot
+        self.shards: dict[int, CertifierShard] = {}
+        #: system-wide commit-version counter (partitioned mode only);
+        #: allocated at commit, so global versions stay contiguous
+        self._global_version = 0
+        if self.partitioned:
+            for p in range(partition_map.num_partitions):
+                self.shards[p] = CertifierShard(
+                    env, p, log=(shard_logs or {}).get(p)
+                )
+            self._global_version = max(
+                (s.last_global for s in self.shards.values()), default=0
+            )
         #: the certification index, rebuilt from whatever log we start with
-        #: (a promoted standby passes its tailed state-machine copy here)
+        #: (a promoted standby passes its tailed state-machine copy here);
+        #: unused in partitioned mode, where each shard owns its own index
         self._index: Optional[CertificationIndex] = (
             CertificationIndex.from_log(self.log)
-            if certification_mode == "index"
+            if certification_mode == "index" and not self.partitioned
             else None
         )
         self.mailbox: Mailbox = network.register(name)
@@ -121,6 +148,11 @@ class Certifier:
         # return): bounds log truncation so their recovery replay stays
         # possible.
         self._departed_versions: dict[str, int] = {}
+        #: grace period (ms) after which a departed replica stops pinning
+        #: the replication horizon (None = pin forever, the legacy
+        #: behaviour that let the decision log grow without bound)
+        self.departed_grace_ms = departed_grace_ms
+        self._departed_since: dict[str, float] = {}
         # Global-commit bookkeeping (policies with tracks_global_commit):
         # version -> set of replicas that applied it, and version ->
         # (origin, request_id) awaiting global commit.
@@ -129,11 +161,18 @@ class Certifier:
         # Fate resolution: request_id -> commit version for every logged
         # decision (rebuilt from the log, so it survives failover), plus the
         # request ids the certifier aborted or fenced.
-        self._request_index: dict[int, int] = {
-            entry.request_id: entry.commit_version
-            for entry in self.log._entries
-            if entry.request_id
-        }
+        self._request_index: dict[int, int] = {}
+        if self.partitioned:
+            for shard in self.shards.values():
+                for entry in shard.log._entries:
+                    if entry.request_id:
+                        self._request_index[entry.request_id] = entry.global_version
+        else:
+            self._request_index = {
+                entry.request_id: entry.commit_version
+                for entry in self.log._entries
+                if entry.request_id
+            }
         self._aborted_requests: set[int] = set()
         self._fenced: set[int] = set()
         # Semi-synchronous standby shipping.
@@ -154,6 +193,18 @@ class Certifier:
         # Counters for tests/metrics.
         self.certified_count = 0
         self.abort_count = 0
+        #: commits whose writeset touched exactly one partition
+        self.single_partition_commits = 0
+        #: commits that took the multi-shard path
+        self.cross_partition_commits = 0
+        #: shard-service acquisitions a cross-partition certification had
+        #: to wait for (contention caused by multi-shard coordination)
+        self.cross_shard_stalls = 0
+        #: departed-replica horizon pins released by the grace period
+        self.departed_purged = 0
+        #: recovery requests refused because the log was truncated past the
+        #: replica's durable version (it must not be re-admitted)
+        self.stale_recovery_refusals = 0
         #: certifications refused by the inbound-queue bound
         self.backpressure_rejects = 0
         #: row comparisons performed by conflict detection (both modes);
@@ -186,12 +237,43 @@ class Certifier:
     # -- derived state ------------------------------------------------------
     @property
     def commit_version(self) -> int:
-        """``V_commit`` — version of the latest certified transaction."""
+        """``V_commit`` — version of the latest certified transaction.
+
+        In partitioned mode this is the system-wide counter: global
+        versions are allocated at commit (never reserved), so the sequence
+        ``1..commit_version`` is contiguous and replica watermarks remain
+        meaningful against it.
+        """
+        if self.partitioned:
+            return self._global_version
         return self.log.last_version
+
+    def _purge_departed(self) -> None:
+        """Satellite fix for unbounded horizon pinning: a permanently
+        departed replica's progress entry stops capping the replication
+        horizon once ``departed_grace_ms`` has elapsed.  A purged replica
+        that eventually returns is refused re-admission through the
+        recovery path (its replay would need truncated history) and must
+        rejoin as a fresh copy."""
+        if self.departed_grace_ms is None or not self._departed_since:
+            return
+        now = self.env.now
+        for replica in [
+            r
+            for r, since in self._departed_since.items()
+            if now - since >= self.departed_grace_ms
+        ]:
+            self._departed_versions.pop(replica, None)
+            self._departed_since.pop(replica, None)
+            self.departed_purged += 1
 
     def replication_horizon(self) -> int:
         """Version every replica — including departed ones that may still
-        recover — has applied (the safe log-truncation horizon)."""
+        recover — has applied (the safe log-truncation horizon).
+
+        Departed replicas pin the horizon only for ``departed_grace_ms``
+        (forever when unset)."""
+        self._purge_departed()
         versions = list(self.applied_versions.values())
         versions.extend(self._departed_versions.values())
         if not versions:
@@ -207,8 +289,17 @@ class Certifier:
         writer lists too (conservative aborts for snapshots older than the
         truncation point keep decisions identical in both modes).  Returns
         entries dropped.
+
+        Partitioned mode truncates every shard against the same global
+        horizon — replica watermarks are global, so a version at or below
+        the horizon is applied everywhere regardless of its partition.
         """
         horizon = self.replication_horizon()
+        if self.partitioned:
+            return sum(
+                shard.truncate_to_global(horizon)
+                for shard in self.shards.values()
+            )
         if self._index is not None and self.log.truncation_version < horizon:
             high = min(horizon, self.log.last_version)
             dropped = [
@@ -217,6 +308,33 @@ class Certifier:
             ]
             self._index.truncate_to(horizon, dropped)
         return self.log.truncate_to(horizon)
+
+    def stats(self) -> dict:
+        """Counter snapshot for metrics/tests (per-shard when partitioned)."""
+        return {
+            "certified": self.certified_count,
+            "aborts": self.abort_count,
+            "backpressure_rejects": self.backpressure_rejects,
+            "queue_length": len(self.mailbox),
+            "num_partitions": (
+                self.partition_map.num_partitions if self.partition_map else 1
+            ),
+            "single_partition_commits": self.single_partition_commits,
+            "cross_partition_commits": self.cross_partition_commits,
+            "cross_shard_stalls": self.cross_shard_stalls,
+            "departed_purged": self.departed_purged,
+            "stale_recovery_refusals": self.stale_recovery_refusals,
+            "shards": {
+                p: {
+                    "certified": shard.certified_count,
+                    "aborts": shard.abort_count,
+                    "queue_length": shard.queue_length,
+                    "log_length": len(shard.log),
+                    "last_global": shard.last_global,
+                }
+                for p, shard in self.shards.items()
+            },
+        }
 
     def decision_for(self, request_id: int) -> Optional[int]:
         """The commit version logged for ``request_id`` (None = no commit).
@@ -238,6 +356,7 @@ class Certifier:
             "replicas": list(self.replica_names),
             "applied": dict(self.applied_versions),
             "departed": dict(self._departed_versions),
+            "departed_since": dict(self._departed_since),
             "certification_mode": self.certification_mode,
         }
 
@@ -252,14 +371,24 @@ class Certifier:
         self.replica_names = list(state["replicas"])
         self.applied_versions = dict(state["applied"])
         self._departed_versions = dict(state["departed"])
+        self._departed_since = dict(state.get("departed_since", {}))
         mode = state.get("certification_mode")
         if mode is not None:
             self.certification_mode = mode
-        self._index = (
-            CertificationIndex.from_log(self.log)
-            if self.certification_mode == "index"
-            else None
-        )
+        if self.partitioned:
+            # Shard logs were handed over at construction; re-derive every
+            # shard's index and the global counter from them.
+            for shard in self.shards.values():
+                shard.rebuild_from_log()
+            self._global_version = max(
+                (s.last_global for s in self.shards.values()), default=0
+            )
+        else:
+            self._index = (
+                CertificationIndex.from_log(self.log)
+                if self.certification_mode == "index"
+                else None
+            )
         if self.monitor is not None:
             for replica in self.replica_names:
                 self.monitor.add_target(replica)
@@ -280,7 +409,15 @@ class Certifier:
             if self.halted:
                 return
             if isinstance(message, CertifyRequest):
-                yield from self._handle_certify(message)
+                if self.partitioned:
+                    # Shards certify concurrently: each request runs as its
+                    # own process queueing on only the shards it touches.
+                    self.env.process(
+                        self._handle_certify_partitioned(message),
+                        name=f"{self.name}-certify-r{message.request_id}",
+                    )
+                else:
+                    yield from self._handle_certify(message)
             elif isinstance(message, CommitApplied):
                 self._handle_commit_applied(message)
             elif isinstance(message, RecoveryRequest):
@@ -407,16 +544,189 @@ class Certifier:
         else:
             self._release_decision(request, reply, version)
 
-    def _release_after_standby(self, version, waiter, request, reply):
+    def _handle_certify_partitioned(self, request: CertifyRequest):
+        """Certify against only the shards the transaction touches.
+
+        Single-partition transactions queue on one shard's service slot and
+        proceed with zero cross-shard coordination.  Cross-partition
+        transactions acquire every involved shard's slot in canonical
+        partition order (a total order on acquisition — no deadlocks) and
+        hold all of them across the conflict check *and* the commit, so no
+        commit can slip into an already-checked shard — which is what
+        preserves first-committer-wins across the partitioned pipeline.
+        """
+        if (
+            self.inbound_queue_bound is not None
+            and len(self.mailbox) >= self.inbound_queue_bound
+        ):
+            self.backpressure_rejects += 1
+            self.network.send(
+                self.name,
+                request.origin,
+                CertifyReply(
+                    txn_id=request.txn_id,
+                    request_id=request.request_id,
+                    certified=False,
+                    commit_version=None,
+                    overloaded=True,
+                ),
+            )
+            return
+        checked_tables = {op.table for op in request.writeset}
+        if request.readset:
+            checked_tables |= {table for table, _key in request.readset}
+        involved = self.partition_map.partitions_for(checked_tables)
+        cross = len(involved) > 1
+        grants: list = []
+        try:
+            for p in involved:
+                grant = self.shards[p].service.request()
+                if cross and not grant.triggered:
+                    self.cross_shard_stalls += 1
+                yield grant
+                grants.append((p, grant))
+            yield self.env.timeout(self.perf.certify(len(request.writeset)))
+            if self.halted:
+                # Crashed mid-certification: the decision was never made.
+                return
+            if request.request_id in self._fenced:
+                self.abort_count += 1
+                self.fenced_aborts += 1
+                self._aborted_requests.add(request.request_id)
+                self.network.send(
+                    self.name,
+                    request.origin,
+                    CertifyReply(
+                        txn_id=request.txn_id,
+                        request_id=request.request_id,
+                        certified=False,
+                        commit_version=None,
+                    ),
+                )
+                return
+            conflict_version = self._find_conflict_partitioned(request, involved)
+            if conflict_version is not None:
+                self.abort_count += 1
+                for p in involved:
+                    self.shards[p].abort_count += 1
+                self._aborted_requests.add(request.request_id)
+                self.network.send(
+                    self.name,
+                    request.origin,
+                    CertifyReply(
+                        txn_id=request.txn_id,
+                        request_id=request.request_id,
+                        certified=False,
+                        commit_version=None,
+                        conflict_with=conflict_version,
+                    ),
+                )
+                return
+            self._commit_partitioned(request, cross)
+        finally:
+            for p, grant in reversed(grants):
+                self.shards[p].service.release(grant)
+
+    def _find_conflict_partitioned(
+        self, request: CertifyRequest, involved: tuple
+    ) -> Optional[int]:
+        """Global version of the first conflicting commit, via the shards.
+
+        The involved shards partition the checked slots, and every shard's
+        index is keyed by global version, so the minimum over the per-shard
+        first conflicts *is* the global first conflict — identical to what
+        the single certifier's one index would have answered.
+        """
+        low = request.snapshot_version
+        slots = request.writeset.slots
+        if request.readset:
+            slots = slots | request.readset
+        by_partition = self.partition_map.split_slots(slots)
+        conflict: Optional[int] = None
+        for p in involved:
+            shard = self.shards[p]
+            if low < shard.truncated_global:
+                # The conflict window reaches into this shard's truncated
+                # prefix; absence of conflicts cannot be proven.
+                return low + 1
+            part_slots = by_partition.get(p)
+            if not part_slots:
+                continue
+            before = shard.index.probes
+            found = shard.index.first_conflict(part_slots, low)
+            self.row_comparisons += shard.index.probes - before
+            if found is not None and (conflict is None or found < conflict):
+                conflict = found
+        return conflict
+
+    def _commit_partitioned(self, request: CertifyRequest, cross: bool) -> None:
+        """Allocate the global version, log per-shard slices, release."""
+        version = self._global_version + 1
+        write_parts = self.partition_map.partitions_for(
+            op.table for op in request.writeset
+        )
+        # Per-partition predecessor vector, captured before appending: the
+        # proxies' apply/sync horizons wait on exactly these versions.
+        prevs = tuple((p, self.shards[p].last_global) for p in write_parts)
+        sub_ops: dict[int, list] = {p: [] for p in write_parts}
+        for op in request.writeset:
+            sub_ops[self.partition_map.partition_of(op.table)].append(op)
+        shard_entries = []
+        for p in write_parts:
+            entry = self.shards[p].append_commit(
+                version,
+                request.txn_id,
+                request.origin,
+                WriteSet(sub_ops[p]),
+                request.request_id,
+                prevs,
+            )
+            self.shards[p].certified_count += 1
+            shard_entries.append((p, entry))
+        self._global_version = version
+        self.certified_count += 1
+        if cross:
+            self.cross_partition_commits += 1
+        else:
+            self.single_partition_commits += 1
+        self._request_index[request.request_id] = version
+        if self.policy.tracks_global_commit:
+            self._applied_by[version] = set()
+            self._awaiting_global[version] = (request.origin, request.request_id)
+
+        reply = CertifyReply(
+            txn_id=request.txn_id,
+            request_id=request.request_id,
+            certified=True,
+            commit_version=version,
+            prev_versions=prevs,
+        )
+        if self.standby_name is not None:
+            self._unreleased.add(version)
+            waiter = Event(self.env)
+            self._record_waiters[version] = waiter
+            self.network.send(
+                self.name,
+                self.standby_name,
+                DecisionRecord(None, shard_entries=tuple(shard_entries)),
+            )
+            self.env.process(
+                self._release_after_standby(version, waiter, request, reply, prevs),
+                name=f"{self.name}-release-v{version}",
+            )
+        else:
+            self._release_decision(request, reply, version, prevs)
+
+    def _release_after_standby(self, version, waiter, request, reply, prevs=None):
         timer = self.env.timeout(self.standby_ack_timeout_ms)
         yield self.env.any_of([waiter, timer])
         self._record_waiters.pop(version, None)
         if not waiter.triggered:
             self.standby_sync_timeouts += 1
-        self._release_decision(request, reply, version)
+        self._release_decision(request, reply, version, prevs)
 
     def _release_decision(self, request: CertifyRequest, reply: CertifyReply,
-                          version: int) -> None:
+                          version: int, prevs=None) -> None:
         """Send the decision to the origin and fan the refresh out."""
         self._unreleased.discard(version)
         if self.halted:
@@ -429,7 +739,10 @@ class Certifier:
                 self.network.send(
                     self.name,
                     replica,
-                    RefreshWriteset(version, request.writeset, request.origin, request.txn_id),
+                    RefreshWriteset(
+                        version, request.writeset, request.origin,
+                        request.txn_id, prev_versions=prevs,
+                    ),
                 )
 
     def _find_conflict(self, request: CertifyRequest) -> Optional[int]:
@@ -515,6 +828,24 @@ class Certifier:
                 self.applied_versions[message.replica] = message.commit_version
         if not self.policy.tracks_global_commit:
             return
+        if self.partitioned:
+            # Partitioned proxies report their contiguous *watermark*: a
+            # report of w means every global version <= w is applied there,
+            # so credit the replica against every awaited version <= w.
+            for version in sorted(
+                v for v in self._applied_by if v <= message.commit_version
+            ):
+                applied = self._applied_by[version]
+                applied.add(message.replica)
+                if len(applied) >= len(self.replica_names):
+                    origin, request_id = self._awaiting_global.pop(version)
+                    del self._applied_by[version]
+                    self.network.send(
+                        self.name,
+                        origin,
+                        GlobalCommitNotice(version, request_id),
+                    )
+            return
         applied = self._applied_by.get(message.commit_version)
         if applied is None:
             return
@@ -531,13 +862,60 @@ class Certifier:
     def _handle_recovery(self, message: RecoveryRequest) -> None:
         # Re-admission is part of recovery: the request itself tells the
         # certifier the replica is back and at which durable version, so no
-        # oracle needs to call add_replica on the replica's behalf.
+        # oracle needs to call add_replica on the replica's behalf.  The
+        # replay is computed *before* re-admitting: if the log was truncated
+        # past the replica's version (possible once ``departed_grace_ms``
+        # released its horizon pin), the replica cannot be caught up and is
+        # refused rather than re-admitted with a hole in its history.
+        try:
+            if self.partitioned:
+                entries, prevs = self._partitioned_recovery_entries(
+                    message.after_version
+                )
+            else:
+                entries = tuple(
+                    (entry.commit_version, entry.writeset)
+                    for entry in self.log.entries_after(message.after_version)
+                )
+                prevs = None
+        except KeyError:
+            self.stale_recovery_refusals += 1
+            return
         self.add_replica(message.replica, applied_version=message.after_version)
-        entries = tuple(
-            (entry.commit_version, entry.writeset)
-            for entry in self.log.entries_after(message.after_version)
+        self.network.send(
+            self.name,
+            message.replica,
+            RecoveryReply(message.replica, entries, prevs=prevs),
         )
-        self.network.send(self.name, message.replica, RecoveryReply(message.replica, entries))
+
+    def _partitioned_recovery_entries(self, after: int) -> tuple:
+        """Merge the shard logs into one global-version-ascending replay.
+
+        A cross-partition commit left one entry per written shard, all
+        carrying the same global version — their sub-writesets are
+        reassembled (in partition order) into the full writeset.  Raises
+        :class:`KeyError` when any shard truncated past ``after``.
+        """
+        by_global: dict[int, dict] = {}
+        for p in sorted(self.shards):
+            shard = self.shards[p]
+            if shard.truncated_global > after:
+                raise KeyError(
+                    f"shard {p} truncated to g{shard.truncated_global}; "
+                    f"cannot replay after g{after}"
+                )
+            for entry in shard.log._entries:
+                if entry.global_version <= after:
+                    continue
+                record = by_global.setdefault(
+                    entry.global_version, {"ops": [], "prevs": entry.prevs}
+                )
+                record["ops"].extend(entry.writeset)
+        entries = tuple(
+            (g, WriteSet(by_global[g]["ops"])) for g in sorted(by_global)
+        )
+        prevs = tuple(by_global[g]["prevs"] for g in sorted(by_global))
+        return entries, prevs
 
     # -- membership (fault tolerance) ---------------------------------------
     def _on_replica_suspect(self, replica: str) -> None:
@@ -561,6 +939,7 @@ class Certifier:
         departed_at = self.applied_versions.pop(replica, None)
         if departed_at is not None:
             self._departed_versions[replica] = departed_at
+            self._departed_since[replica] = self.env.now
         if self.policy.tracks_global_commit:
             for version in list(self._awaiting_global):
                 applied = self._applied_by.get(version, set())
@@ -579,5 +958,6 @@ class Certifier:
             self.replica_names.append(replica)
         self.applied_versions[replica] = applied_version
         self._departed_versions.pop(replica, None)
+        self._departed_since.pop(replica, None)
         if self.monitor is not None:
             self.monitor.add_target(replica)

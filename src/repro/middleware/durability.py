@@ -28,6 +28,14 @@ class LogEntry:
     for it — the fate-resolution protocol looks commits up by request id
     when an update transaction times out (0 for entries predating the
     field, e.g. old file sinks).
+
+    Partitioned pipeline: a per-shard log counts its own contiguous
+    sequence in ``commit_version`` (the shard-local sequence number) while
+    ``global_version`` carries the system-wide commit version and ``prevs``
+    the commit's per-partition predecessor vector
+    ``((partition, prev_global_version), ...)``.  Both default to the
+    legacy "unset" values so single-partition logs serialise byte-identically
+    to the pre-partitioning format.
     """
 
     commit_version: int
@@ -35,6 +43,8 @@ class LogEntry:
     origin: str
     writeset: WriteSet
     request_id: int = 0
+    global_version: int = 0
+    prevs: tuple = ()
 
     def to_json(self) -> str:
         """Serialise for the file sink (used by the durability tests)."""
@@ -47,16 +57,20 @@ class LogEntry:
             }
             for op in self.writeset
         ]
-        return json.dumps(
-            {
-                "v": self.commit_version,
-                "txn": self.txn_id,
-                "origin": self.origin,
-                "req": self.request_id,
-                "ops": ops,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "v": self.commit_version,
+            "txn": self.txn_id,
+            "origin": self.origin,
+            "req": self.request_id,
+            "ops": ops,
+        }
+        # Emit partitioned fields only when set: legacy entries stay
+        # byte-identical to the pre-partitioning format.
+        if self.global_version:
+            payload["g"] = self.global_version
+        if self.prevs:
+            payload["prevs"] = [list(p) for p in self.prevs]
+        return json.dumps(payload, sort_keys=True)
 
     @staticmethod
     def from_json(line: str) -> "LogEntry":
@@ -69,6 +83,8 @@ class LogEntry:
         return LogEntry(
             data["v"], data["txn"], data["origin"], WriteSet(ops),
             request_id=data.get("req", 0),
+            global_version=data.get("g", 0),
+            prevs=tuple(tuple(p) for p in data.get("prevs", [])),
         )
 
 

@@ -103,6 +103,9 @@ class TxnLifecycle:
         self.result: Any = None
         self.writeset = None
         self.commit_version: Optional[int] = None
+        #: per-partition predecessor vector from the certify reply
+        #: (partitioned pipeline only)
+        self.certify_prevs: Optional[tuple] = None
         #: version reserved at the applier for our pending local commit
         self.reserved_version: Optional[int] = None
         #: set once the local DBMS commit succeeded — a later crash must
@@ -243,15 +246,32 @@ class TxnLifecycle:
                 f"certification conflict with committed v{reply.conflict_with}"
             )
         self.commit_version = reply.commit_version
+        self.certify_prevs = reply.prev_versions
 
     def _stage_sync(self):
-        """Wait for all earlier versions to be applied locally, holding the
-        reservation the applier honours for our commit version."""
+        """Wait for this commit's predecessors to be applied locally,
+        holding the reservation the applier honours for our commit version.
+
+        Legacy pipeline: the predecessor set is the full prefix
+        ``1..commit_version-1``.  Partitioned pipeline: only the
+        per-partition predecessors from the certify reply — commits of
+        unrelated partitions are not waited for, which is the paper-level
+        win of partitioning the refresh stream.
+        """
         proxy = self.proxy
         self.reserved_version = self.commit_version
         proxy._reserved.add(self.commit_version)
         proxy._wake_applier()
-        yield proxy.clock.wait_for(self.commit_version - 1)
+        if proxy.partitioned and self.certify_prevs is not None:
+            for p, prev in self.certify_prevs:
+                # ``has_applied`` first: partition clocks are soft state,
+                # the database is the ground truth after a crash/replay.
+                while not proxy.engine.database.has_applied(prev):
+                    yield proxy.partition_clocks[p].wait_for(prev)
+                    if proxy.crashed:
+                        raise ReplicaCrashed
+        else:
+            yield proxy.clock.wait_for(self.commit_version - 1)
         if proxy.crashed:
             # The decision is durable at the certifier; the local commit is
             # lost until recovery replay.  No response (client sees failure).
@@ -269,9 +289,18 @@ class TxnLifecycle:
         self.reserved_version = None
         self.committed_locally = True
         proxy.committed_count += 1
-        proxy.clock.advance_to(commit_version)
-        proxy._wake_applier()
-        proxy._send_commit_applied(commit_version, len(self.writeset))
+        if proxy.partitioned:
+            for p, _prev in self.certify_prevs or ():
+                proxy.partition_clocks[p].advance_to(commit_version)
+            # The main clock and the progress report track the contiguous
+            # watermark, which an out-of-order commit may not advance.
+            proxy.clock.advance_to(proxy.engine.version)
+            proxy._wake_applier()
+            proxy._send_commit_applied(proxy.engine.version, len(self.writeset))
+        else:
+            proxy.clock.advance_to(commit_version)
+            proxy._wake_applier()
+            proxy._send_commit_applied(commit_version, len(self.writeset))
 
     def _stage_global(self):
         """Wait for the certifier's global-commit notice before

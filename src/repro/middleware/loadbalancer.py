@@ -33,13 +33,13 @@ from collections import deque
 from dataclasses import replace
 from typing import Optional
 
+from ..core.partition import PartitionMap
 from ..core.policy import resolve_policy
 from ..core.versions import VersionTracker
 from ..histories.records import RunHistory, TxnRecord
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
-from .overload import OverloadSettings
 from .messages import (
     ClientRequest,
     ClientResponse,
@@ -51,6 +51,7 @@ from .messages import (
     TxnResponse,
     next_request_id,
 )
+from .overload import OverloadSettings
 
 __all__ = ["LoadBalancer"]
 
@@ -94,7 +95,12 @@ class LoadBalancer:
     deadline-driven retry and fate resolution."""
 
     #: supported routing policies
-    ROUTING_POLICIES = ("least-active", "round-robin", "random")
+    ROUTING_POLICIES = (
+        "least-active",
+        "round-robin",
+        "random",
+        "partition-affinity",
+    )
 
     def __init__(
         self,
@@ -115,6 +121,7 @@ class LoadBalancer:
         fate_retry_ms: float = 25.0,
         max_fate_attempts: int = 40,
         overload: Optional[OverloadSettings] = None,
+        partition_map: Optional[PartitionMap] = None,
     ):
         if routing not in self.ROUTING_POLICIES:
             raise ValueError(
@@ -123,6 +130,13 @@ class LoadBalancer:
             )
         if routing == "random" and rng is None:
             raise ValueError("random routing requires an rng")
+        if routing == "partition-affinity" and (
+            partition_map is None or partition_map.is_trivial
+        ):
+            raise ValueError(
+                "partition-affinity routing requires a partition map with "
+                "num_partitions > 1"
+            )
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.env = env
@@ -132,7 +146,11 @@ class LoadBalancer:
         #: legacy introspection: the enum member behind the policy, if any
         self.level = self.policy.level
         self.templates = templates
-        self.tracker = VersionTracker()
+        #: table-group partitioning (None = the legacy scalar pipeline)
+        self.partition_map = partition_map
+        self.tracker = VersionTracker(partition_map=partition_map)
+        #: template name -> partitions its table-set touches (cached)
+        self._template_partitions: dict[str, tuple] = {}
         self.history = history
         self.routing = routing
         self.rng = rng
@@ -155,6 +173,10 @@ class LoadBalancer:
         self._certifier_epoch = 1
         self.dispatched_count = 0
         self.relayed_count = 0
+        #: dispatches whose template touches exactly one partition
+        self.single_partition_dispatched = 0
+        #: dispatches whose template spans partitions
+        self.cross_partition_dispatched = 0
         # Self-healing counters (all zero when the features are off).
         self.timed_out_count = 0
         self.rerouted_reads = 0
@@ -222,6 +244,23 @@ class LoadBalancer:
     def outstanding_count(self) -> int:
         return len(self._outstanding)
 
+    def stats(self) -> dict:
+        """Counter snapshot for metrics/tests (partition-aware routing)."""
+        return {
+            "dispatched": self.dispatched_count,
+            "relayed": self.relayed_count,
+            "single_partition_dispatched": self.single_partition_dispatched,
+            "cross_partition_dispatched": self.cross_partition_dispatched,
+            "num_partitions": (
+                self.partition_map.num_partitions
+                if self.partition_map is not None
+                else 1
+            ),
+            "partition_versions": self.tracker.partition_versions(),
+            "pending_depth": self.pending_depth(),
+            "active": dict(self._active_count),
+        }
+
     # -- main loop ------------------------------------------------------------
     def _run(self):
         while True:
@@ -263,13 +302,28 @@ class LoadBalancer:
                 + ", ".join(sorted(known))
             ) from None
 
+    def _partitions_for_template(self, name: str) -> Optional[tuple]:
+        """Partitions the template's table-set touches (cached; None when
+        no partition map is configured)."""
+        if self.partition_map is None:
+            return None
+        cached = self._template_partitions.get(name)
+        if cached is None:
+            cached = self.partition_map.partitions_for(
+                self._template_for(name).table_set
+            )
+            self._template_partitions[name] = cached
+        return cached
+
     def _dispatch(self, request: ClientRequest) -> None:
         template = self._template_for(request.template)
         read_only = not template.is_update
         if self.overload is not None:
             self._admit(request, read_only)
             return
-        replica = self._pick_replica()
+        replica = self._pick_replica(
+            partitions=self._partitions_for_template(request.template)
+        )
         if replica is None:
             # Every replica is down or suspected.  Answer instead of raising:
             # the balancer must survive a total outage to route again after
@@ -281,6 +335,12 @@ class LoadBalancer:
 
     def _dispatch_now(self, request: ClientRequest, replica: str,
                       read_only: bool) -> None:
+        partitions = self._partitions_for_template(request.template)
+        if partitions is not None:
+            if len(partitions) > 1:
+                self.cross_partition_dispatched += 1
+            else:
+                self.single_partition_dispatched += 1
         start_version = self._start_version(request, read_only=read_only)
         entry = _Outstanding(request, request, replica, start_version, read_only)
         entry.dispatch_time = self.env.now
@@ -295,7 +355,9 @@ class LoadBalancer:
         """Admission control: dispatch within the MPL cap, queue within the
         queue bound, fast-reject (or deadline-shed) beyond it."""
         settings = self.overload
-        replica = self._pick_replica()
+        replica = self._pick_replica(
+            partitions=self._partitions_for_template(request.template)
+        )
         if replica is None:
             self.rejected_count += 1
             self._respond_failure(request, "no replicas available", "")
@@ -387,12 +449,20 @@ class LoadBalancer:
             self.valve_open = False
             self.valve_events.append((self.env.now, "close", self.tracker.v_system))
 
-    def _pick_replica(self, exclude: frozenset = frozenset()) -> Optional[str]:
+    def _pick_replica(
+        self,
+        exclude: frozenset = frozenset(),
+        partitions: Optional[tuple] = None,
+    ) -> Optional[str]:
         """Route per the configured policy over the replicas currently up.
 
         The paper's balancer uses least-active ("the replica with the least
         number of active transactions"); round-robin and random exist for
-        the routing ablation.  Returns None when no replica is available.
+        the routing ablation.  Partition-affinity pins a single-partition
+        transaction to its partition's home replica (``p mod N``) so one
+        replica's working set stays within one shard's tables; cross-
+        partition and unknown-shape requests fall back to least-active.
+        Returns None when no replica is available.
         """
         candidates = [r for r in self._replicas if r in self._up and r not in exclude]
         if not candidates:
@@ -405,6 +475,14 @@ class LoadBalancer:
             return pick
         if self.routing == "random":
             return self.rng.choice(candidates)
+        if (
+            self.routing == "partition-affinity"
+            and partitions is not None
+            and len(partitions) == 1
+        ):
+            home = self._replicas[partitions[0] % len(self._replicas)]
+            if home in candidates:
+                return home
         return min(candidates, key=lambda r: (self._active_count[r], r))
 
     def _start_version(self, request: ClientRequest, read_only: bool = False) -> int:
@@ -489,7 +567,10 @@ class LoadBalancer:
         """Retry under a fresh request id (old ids may be fenced) with a
         recomputed consistency tag."""
         del self._outstanding[old_request_id]
-        replica = self._pick_replica(exclude=exclude)
+        replica = self._pick_replica(
+            exclude=exclude,
+            partitions=self._partitions_for_template(entry.request.template),
+        )
         if replica is None:
             self.rejected_count += 1
             self._respond_failure(

@@ -158,6 +158,11 @@ class CertifyReply:
     commit_version: Optional[int]
     conflict_with: Optional[int] = None  # version of the conflicting commit
     overloaded: bool = False
+    #: partitioned pipeline only: ``((partition, prev_global_version), ...)``
+    #: — for each partition the writeset touches, the global version of that
+    #: partition's previous commit.  The origin proxy's sync stage waits for
+    #: exactly these predecessors instead of the full global prefix.
+    prev_versions: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -169,6 +174,11 @@ class RefreshWriteset:
     writeset: WriteSet
     origin: str
     txn_id: int
+    #: partitioned pipeline only: per-partition predecessor versions (same
+    #: shape as :attr:`CertifyReply.prev_versions`).  A receiving proxy may
+    #: apply this refresh as soon as every predecessor has been applied,
+    #: even if earlier global versions of *other* partitions are missing.
+    prev_versions: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -205,6 +215,9 @@ class RecoveryReply:
 
     replica: str
     entries: tuple  # tuple[tuple[int, WriteSet], ...]
+    #: partitioned pipeline only: per-entry predecessor vectors, aligned
+    #: with ``entries`` (``prevs[i]`` belongs to ``entries[i]``).
+    prevs: Optional[tuple] = None
 
 
 # ---------------------------------------------------------------------------
@@ -274,6 +287,11 @@ class DecisionRecord:
     (state-machine replication of the certifier)."""
 
     entry: Any  # durability.LogEntry; Any avoids a circular import
+    #: partitioned pipeline only: ``((partition, LogEntry), ...)`` — the
+    #: per-shard log entries of one commit (``entry`` is ``None`` then).
+    #: The standby appends each to its copy of that shard's log and acks
+    #: the commit's global version once all of them are replicated.
+    shard_entries: Optional[tuple] = None
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Any, Optional
 
+from ..core.partition import PartitionMap
 from ..core.policy import resolve_policy
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
@@ -75,6 +76,7 @@ class ReplicaProxy:
         gap_repair_cooldown_ms: float = 100.0,
         batch_refresh_apply: bool = False,
         refresh_batch_limit: int = 32,
+        partition_map: Optional[PartitionMap] = None,
     ):
         if refresh_batch_limit < 1:
             raise ValueError("refresh_batch_limit must be >= 1")
@@ -97,6 +99,26 @@ class ReplicaProxy:
         # validation at the certifier.
         self.certify_reads = certify_reads
 
+        #: table-group partitioning (None/trivial = legacy strict-order
+        #: refresh application, trace-identical to the pre-partitioning code)
+        self.partition_map = partition_map
+        self.partitioned = (
+            partition_map is not None and not partition_map.is_trivial
+        )
+        #: per-partition apply horizons: clock ``p`` tracks the newest
+        #: global version applied here whose writeset touched partition
+        #: ``p``; the sync stage waits on these instead of the full prefix
+        self.partition_clocks: dict[int, VersionClock] = {}
+        if self.partitioned:
+            # Out-of-order applies: the database tracks a contiguous
+            # watermark and installs independent partitions' commits as
+            # their per-partition predecessors arrive.
+            engine.database.allow_gaps = True
+            self.partition_clocks = {
+                p: VersionClock(env, initial=0)
+                for p in range(partition_map.num_partitions)
+            }
+
         self.mailbox: Mailbox = network.register(name)
         self.cpu = Resource(env, capacity=perf.params.cores)
         # The replica's log-flush device: policies with a synchronous commit
@@ -117,6 +139,10 @@ class ReplicaProxy:
         # O(log n) instead of rescanning the dict on every message.
         self._pending_refresh: dict[int, Any] = {}
         self._pending_versions: list[int] = []
+        # Per-partition predecessor vectors of pending refreshes (kept out
+        # of ``_pending_refresh`` so its values stay plain writesets for
+        # early certification and the legacy applier).
+        self._pending_prevs: dict[int, Optional[tuple]] = {}
         # Versions reserved for local certified transactions.
         self._reserved: set[int] = set()
         # Active local transactions still executing (pre-certification),
@@ -289,9 +315,11 @@ class ReplicaProxy:
 
     # -- refresh handling ------------------------------------------------------
     def _receive_refresh(self, message: RefreshWriteset) -> None:
-        if message.commit_version <= self.engine.version:
+        if self.engine.database.has_applied(message.commit_version):
             return  # duplicate (possible after recovery replay)
-        self._enqueue_refresh(message.commit_version, message.writeset)
+        self._enqueue_refresh(
+            message.commit_version, message.writeset, message.prev_versions
+        )
         # Arrival-side early certification: doom conflicting active locals.
         if self.early_certification:
             for txn in list(self._executing.values()):
@@ -310,22 +338,25 @@ class ReplicaProxy:
         # entry cannot linger in the pending map (it would never match
         # ``engine.version + 1`` and would pin memory forever).
         self._purge_stale_refreshes()
-        for version, writeset in message.entries:
+        prevs_list = message.prevs or (None,) * len(message.entries)
+        for (version, writeset), prevs in zip(message.entries, prevs_list):
             # Skip versions a local certified transaction has reserved: the
             # gap-repair path can request a replay whose window overlaps our
             # own pending commit, and applying it twice would fork V_local.
             if (
-                version > self.engine.version
+                not self.engine.database.has_applied(version)
                 and version not in self._pending_refresh
                 and version not in self._reserved
             ):
-                self._enqueue_refresh(version, writeset)
+                self._enqueue_refresh(version, writeset, prevs)
         self._wake_applier()
 
-    def _enqueue_refresh(self, version: int, writeset) -> None:
+    def _enqueue_refresh(self, version: int, writeset, prevs=None) -> None:
         if version not in self._pending_refresh:
             heappush(self._pending_versions, version)
         self._pending_refresh[version] = writeset
+        if prevs is not None:
+            self._pending_prevs[version] = prevs
 
     def _purge_stale_refreshes(self) -> None:
         """Drop pending entries at or below ``V_local``.
@@ -337,7 +368,9 @@ class ReplicaProxy:
         heap = self._pending_versions
         current = self.engine.version
         while heap and heap[0] <= current:
-            self._pending_refresh.pop(heappop(heap), None)
+            stale = heappop(heap)
+            self._pending_refresh.pop(stale, None)
+            self._pending_prevs.pop(stale, None)
 
     def _wake_applier(self) -> None:
         if self._applier_wakeup is not None and not self._applier_wakeup.triggered:
@@ -356,6 +389,9 @@ class ReplicaProxy:
             # A recovery replay can leave entries at or below V_local behind
             # a local commit; drop them so they cannot pin memory.
             self._purge_stale_refreshes()
+            if self.partitioned:
+                yield from self._apply_ready_partitioned()
+                continue
             if next_version in self._reserved:
                 # A certified local transaction owns this version; it will
                 # advance the clock when it commits.  Checked before the
@@ -388,6 +424,71 @@ class ReplicaProxy:
                 self._applier_wakeup = Event(self.env)
                 yield self._applier_wakeup
                 self._applier_wakeup = None
+
+    def _ready_pending_version(self) -> Optional[int]:
+        """Smallest pending global version whose per-partition predecessors
+        have all been applied (partitioned mode).
+
+        A pending refresh without a predecessor vector (sent by a
+        pre-partitioning certifier) falls back to strict prefix order.
+        Versions reserved by local certified transactions are owned by
+        their commits and skipped.
+        """
+        best: Optional[int] = None
+        for version in self._pending_refresh:
+            if version in self._reserved:
+                continue
+            if self.engine.database.has_applied(version):
+                continue
+            prevs = self._pending_prevs.get(version)
+            if prevs is None:
+                ready = version == self.engine.version + 1
+            else:
+                ready = all(
+                    self.engine.database.has_applied(prev) for _p, prev in prevs
+                )
+            if ready and (best is None or version < best):
+                best = version
+        return best
+
+    def _apply_ready_partitioned(self):
+        """One applier turn in partitioned mode: install the smallest ready
+        refresh (its partition predecessors are applied), or sleep."""
+        version = self._ready_pending_version()
+        if version is None:
+            self._applier_wakeup = Event(self.env)
+            yield self._applier_wakeup
+            self._applier_wakeup = None
+            return
+        writeset = self._pending_refresh[version]
+        yield from self.cpu.use(self.perf.refresh(len(writeset)))
+        if self.crashed:
+            return
+        # Re-validate against what happened while the apply held the CPU:
+        # the version may have been applied by a recovery replay, or claimed
+        # by a certify reply for a local in-flight transaction.
+        if self.engine.database.has_applied(version) or version in self._reserved:
+            self._pending_refresh.pop(version, None)
+            self._pending_prevs.pop(version, None)
+            return
+        self.engine.apply_refresh(writeset, version)
+        self.refresh_applied_count += 1
+        self._pending_refresh.pop(version, None)
+        self._pending_prevs.pop(version, None)
+        self._advance_partition_clocks(version, writeset)
+        # The watermark may have absorbed a whole applied-ahead run; the
+        # main clock (and the progress report to the certifier) follow it,
+        # never the raw version — the watermark is the valid replay floor.
+        self.clock.advance_to(self.engine.version)
+        self._send_commit_applied(self.engine.version, len(writeset))
+
+    def _advance_partition_clocks(self, version: int, writeset) -> None:
+        """Advance the apply horizon of every partition ``writeset``
+        touches to ``version``."""
+        if not self.partitioned:
+            return
+        for p in self.partition_map.partitions_for(writeset.tables):
+            self.partition_clocks[p].advance_to(version)
 
     def _drain_refresh_run(self, next_version: int) -> list:
         """Pop the maximal run of consecutive pending versions starting at
@@ -575,6 +676,7 @@ class ReplicaProxy:
         self.crashed = True
         self._pending_refresh.clear()
         self._pending_versions.clear()
+        self._pending_prevs.clear()
         self._doomed.clear()
         for txn in list(self.engine.active_transactions):
             self.engine.abort(txn, "replica crashed")

@@ -74,6 +74,8 @@ class CertifierStandby:
         heartbeat: Optional[HeartbeatSettings] = None,
         promote_hook: Optional[Callable[[Certifier], None]] = None,
         certification_mode: str = "index",
+        partition_map=None,
+        departed_grace_ms: Optional[float] = None,
     ):
         self.env = env
         self.network = network
@@ -92,13 +94,28 @@ class CertifierStandby:
         #: primary-state snapshot (restore_state) overrides it at promotion
         self.certification_mode = certification_mode
         self.mailbox: Mailbox = network.register(name)
+        #: optional table-group partition map (a partitioned primary ships
+        #: per-shard entries; the successor is constructed over the same map)
+        self.partition_map = partition_map
+        #: departed-replica horizon grace the successor certifier inherits
+        self.departed_grace_ms = departed_grace_ms
         #: state-machine replica of the primary's decision log
         self.log = DecisionLog()
+        #: per-shard log copies (partitioned primaries only), built lazily
+        #: from the partitions named in shipped records
+        self.shard_logs: dict[int, DecisionLog] = {}
         # Records that arrived ahead of a gap (link jitter can reorder
         # deliveries); appended once the gap fills.  Only the contiguous
         # prefix is acknowledged — an unacknowledged decision is never
         # released by the primary, so losing the buffered tail is safe.
         self._pending_records: dict[int, LogEntry] = {}
+        # Partitioned counterpart: whole commits (all their shard entries)
+        # buffered by global version.  Global versions are allocated from a
+        # single counter, so draining them contiguously also appends each
+        # shard's entries in shard-sequence order.
+        self._pending_shard_records: dict[int, tuple] = {}
+        #: newest global version whose shard entries are all appended
+        self._last_global = 0
         #: voters currently suspecting the primary
         self._votes: set[str] = set()
         #: latest soft-state snapshot piggybacked on the primary's acks
@@ -130,6 +147,8 @@ class CertifierStandby:
     @property
     def replicated_version(self) -> int:
         """Newest decision version the standby holds contiguously."""
+        if self.shard_logs:
+            return self._last_global
         return self.log.last_version
 
     # -- main loop ------------------------------------------------------------
@@ -137,7 +156,10 @@ class CertifierStandby:
         while True:
             message = yield self.mailbox.receive()
             if isinstance(message, DecisionRecord):
-                self._tail_record(message.entry)
+                if message.shard_entries is not None:
+                    self._tail_shard_record(message.shard_entries)
+                else:
+                    self._tail_record(message.entry)
             elif isinstance(message, CertifierSuspected):
                 self._handle_vote(message)
             elif isinstance(message, HeartbeatAck):
@@ -167,6 +189,32 @@ class CertifierStandby:
             self.records_applied += 1
             self.network.send(
                 self.name, self.primary_name, DecisionAck(ready.commit_version)
+            )
+
+    def _tail_shard_record(self, shard_entries: tuple) -> None:
+        """Tail one partitioned commit: the record carries every shard's
+        entry for a single global version.  Buffer by global version and
+        drain contiguously — globals come from one counter, so this also
+        keeps every shard's log copy contiguous in shard sequence."""
+        if self.promoted:
+            return  # a fenced/dying primary's leftovers
+        version = shard_entries[0][1].global_version
+        if version <= self._last_global:
+            # Duplicate (e.g. primary resend); re-ack so its waiter releases.
+            self.network.send(self.name, self.primary_name, DecisionAck(version))
+            return
+        self._pending_shard_records[version] = tuple(shard_entries)
+        while self._last_global + 1 in self._pending_shard_records:
+            ready = self._pending_shard_records.pop(self._last_global + 1)
+            for partition, entry in ready:
+                log = self.shard_logs.get(partition)
+                if log is None:
+                    log = self.shard_logs[partition] = DecisionLog()
+                log.append(entry)
+            self._last_global += 1
+            self.records_applied += 1
+            self.network.send(
+                self.name, self.primary_name, DecisionAck(self._last_global)
             )
 
     # -- promotion ------------------------------------------------------------
@@ -200,6 +248,9 @@ class CertifierStandby:
             standby_name=None,
             epoch=self.epoch,
             certification_mode=self.certification_mode,
+            partition_map=self.partition_map,
+            shard_logs=self.shard_logs or None,
+            departed_grace_ms=self.departed_grace_ms,
         )
         if self._primary_state is not None:
             successor.restore_state(self._primary_state)

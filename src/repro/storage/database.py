@@ -22,12 +22,18 @@ __all__ = ["Database"]
 class Database:
     """Tables plus the committed-version counter of one replica."""
 
-    def __init__(self, name: str = "db"):
+    def __init__(self, name: str = "db", allow_gaps: bool = False):
         self.name = name
         self._tables: dict[str, VersionedTable] = {}
         self._version = 0
         # commit_version -> writeset, kept for conflict checks and recovery.
         self._committed_writesets: dict[int, WriteSet] = {}
+        #: permit out-of-order applies (the partitioned commit pipeline
+        #: installs independent partitions' commits as they arrive);
+        #: :attr:`version` then reports the contiguous *watermark*
+        self.allow_gaps = allow_gaps
+        #: versions applied ahead of the watermark (only with ``allow_gaps``)
+        self._applied_ahead: set[int] = set()
 
     # -- schema ------------------------------------------------------------
     def create_table(self, schema: TableSchema) -> VersionedTable:
@@ -55,8 +61,20 @@ class Database:
     # -- versions ---------------------------------------------------------
     @property
     def version(self) -> int:
-        """This copy's committed database version (``V_local``)."""
+        """This copy's committed database version (``V_local``).
+
+        With ``allow_gaps`` this is the contiguous *watermark*: the largest
+        ``v`` such that every version ``1..v`` has been applied.  Snapshots
+        are taken at the watermark, so a row installed out of order (its
+        version is above the watermark) stays invisible until the gap
+        below it fills — which keeps reads repeatable.
+        """
         return self._version
+
+    def has_applied(self, version: int) -> bool:
+        """Whether ``version``'s writeset has been installed (contiguous
+        prefix or ahead of the watermark)."""
+        return version <= self._version or version in self._applied_ahead
 
     # -- commit application ---------------------------------------------------
     def apply_writeset(self, writeset: WriteSet, commit_version: int) -> None:
@@ -70,13 +88,25 @@ class Database:
         if writeset.is_empty:
             raise StorageError("refusing to apply an empty writeset")
         if commit_version != self._version + 1:
-            raise StorageError(
-                f"out-of-order apply: database at v{self._version}, "
-                f"writeset for v{commit_version}"
-            )
+            if (
+                not self.allow_gaps
+                or commit_version <= self._version
+                or commit_version in self._applied_ahead
+            ):
+                raise StorageError(
+                    f"out-of-order apply: database at v{self._version}, "
+                    f"writeset for v{commit_version}"
+                )
         for op in writeset:
             self.table(op.table).apply_op(op, commit_version)
-        self._version = commit_version
+        if commit_version == self._version + 1:
+            self._version = commit_version
+            # Absorb any run applied ahead that is now contiguous.
+            while self._version + 1 in self._applied_ahead:
+                self._applied_ahead.discard(self._version + 1)
+                self._version += 1
+        else:
+            self._applied_ahead.add(commit_version)
         self._committed_writesets[commit_version] = writeset
 
     def load_row(self, table: str, values: Mapping[str, Any]) -> None:

@@ -1,0 +1,310 @@
+"""Equivalence and safety audit of the partitioned commit pipeline.
+
+Three layers of evidence that sharding certification by table-group changes
+*where* work happens but never *what* is decided:
+
+* **trace identity at num_partitions=1** — passing every partitioning knob
+  at its default reproduces the pre-partitioning golden run byte-for-byte;
+* **differential decisions** — identical randomized request streams driven
+  sequentially through 1, 2 and 4 shards produce identical certify/abort
+  decisions (including the conflicting version reported) and identical
+  global commit versions, and each shard's log is exactly the projection of
+  the global commit order onto its partition;
+* **end-to-end checkers** — full clusters at 2 and 4 partitions (including
+  a cross-partition-heavy workload) keep the strong-consistency and
+  session-consistency audits green.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ClusterConfig, ConsistencyLevel, PartitionMap, ReplicatedDatabase
+from repro.histories import is_session_consistent, is_strongly_consistent
+from repro.metrics import MetricsCollector
+from repro.middleware import (
+    Certifier,
+    CertifierPerformance,
+    CertifyReply,
+    CertifyRequest,
+    PerformanceParams,
+)
+from repro.sim import Environment, LatencyModel, Network, RngRegistry
+from repro.storage.writeset import OpKind, WriteOp, WriteSet
+from repro.workloads import MicroBenchmark
+from tests.core.test_equivalence import GOLDEN, fingerprint
+
+TABLES = ("t0", "t1", "t2", "t3")
+#: explicit table-group layouts so the table→partition assignment is
+#: deterministic (no reliance on the hash fallback spreading evenly)
+GROUPS = {
+    2: (("t0", "t1"), ("t2", "t3")),
+    4: (("t0",), ("t1",), ("t2",), ("t3",)),
+}
+
+
+def quiet_params():
+    return PerformanceParams(cv=1e-6, replica_speed_spread=0.0)
+
+
+class TestPartitionKnobsDefaultOff:
+    """The partitioned pipeline must be trace-neutral when off: passing every
+    new knob at its default reproduces the golden run exactly."""
+
+    def test_explicit_default_knobs_are_byte_identical(self):
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=10, rows_per_table=200),
+            ClusterConfig(
+                num_replicas=4,
+                level=ConsistencyLevel.SC_COARSE,
+                seed=11,
+                num_partitions=1,
+                partition_table_groups=None,
+                departed_grace_ms=None,
+            ),
+        )
+        collector = MetricsCollector(measure_start=0.0)
+        cluster.add_clients(6, collector)
+        cluster.run(2_500.0)
+        assert fingerprint(cluster, collector) == GOLDEN["sc-coarse"]
+        assert cluster.partition_map is None
+        assert not cluster.certifier.partitioned
+        stats = cluster.certifier.stats()
+        assert stats["num_partitions"] == 1
+        assert stats["shards"] == {}
+        assert stats["cross_partition_commits"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Differential decision identity: 1 vs 2 vs 4 shards on one request stream
+# ---------------------------------------------------------------------------
+
+
+def drive_certifier(num_partitions, steps=250, seed=9):
+    """Drive a bare certifier sequentially through a seeded random stream of
+    single- and multi-table writesets with lagging snapshots.
+
+    Sequential driving (one request fully decided before the next is sent)
+    removes scheduling as a variable: any decision difference between shard
+    counts is a protocol difference.  The stream generator feeds back the
+    observed commit version, so identical decisions keep the streams
+    identical across runs by construction.
+    """
+    env = Environment()
+    network = Network(
+        env, RngRegistry(42).stream("net"), LatencyModel(base=0.05, jitter=0.0)
+    )
+    origin = network.register("replica-0")
+    partition_map = (
+        PartitionMap(num_partitions, table_groups=GROUPS[num_partitions])
+        if num_partitions > 1
+        else None
+    )
+    certifier = Certifier(
+        env=env,
+        network=network,
+        perf=CertifierPerformance(quiet_params(), RngRegistry(1).stream("cert")),
+        replica_names=["replica-0"],
+        level=ConsistencyLevel.SC_COARSE,
+        partition_map=partition_map,
+    )
+    rng = random.Random(seed)
+    v_commit = 0
+    decisions = []
+    for txn_id in range(1, steps + 1):
+        num_tables = 2 if rng.random() < 0.3 else 1
+        tables = rng.sample(TABLES, num_tables)
+        ops = [
+            WriteOp(table, rng.randrange(12), OpKind.UPDATE, {"id": 0, "v": txn_id})
+            for table in tables
+        ]
+        snapshot = max(0, v_commit - rng.randrange(8))
+        network.send(
+            "replica-0",
+            certifier.name,
+            CertifyRequest(
+                txn_id=txn_id,
+                origin="replica-0",
+                snapshot_version=snapshot,
+                writeset=WriteSet(ops),
+                request_id=txn_id,
+            ),
+        )
+        env.run()
+        while len(origin):
+            message = origin.receive().value
+            if isinstance(message, CertifyReply):
+                decisions.append(
+                    (message.certified, message.commit_version, message.conflict_with)
+                )
+                if message.certified:
+                    v_commit = message.commit_version
+    assert len(decisions) == steps
+    return decisions, certifier
+
+
+class TestDifferentialDecisions:
+    def test_decisions_identical_across_shard_counts(self):
+        reference, single = drive_certifier(1)
+        commits = [d for d in reference if d[0]]
+        aborts = [d for d in reference if not d[0]]
+        # The stream must actually exercise both outcomes.
+        assert len(commits) > 50
+        assert len(aborts) > 5
+        for num_partitions in (2, 4):
+            decisions, certifier = drive_certifier(num_partitions)
+            assert decisions == reference, (
+                f"decision divergence at {num_partitions} partitions"
+            )
+            stats = certifier.stats()
+            assert stats["cross_partition_commits"] > 0
+            assert (
+                stats["single_partition_commits"] + stats["cross_partition_commits"]
+                == len(commits)
+            )
+
+    @pytest.mark.parametrize("num_partitions", [2, 4])
+    def test_shard_logs_are_projections_of_the_global_order(self, num_partitions):
+        _, single = drive_certifier(1)
+        _, sharded = drive_certifier(num_partitions)
+        partition_map = PartitionMap(
+            num_partitions, table_groups=GROUPS[num_partitions]
+        )
+        # Project the single-certifier commit order onto each partition.
+        expected = {p: [] for p in range(num_partitions)}
+        for entry in single.log._entries:
+            for p in partition_map.partitions_for(entry.writeset.tables):
+                expected[p].append(entry.commit_version)
+        for p, shard in sharded.shards.items():
+            got = [entry.global_version for entry in shard.log._entries]
+            assert got == expected[p], f"shard {p} commit order diverged"
+            # Shard sequence numbers are dense from 1.
+            assert [e.commit_version for e in shard.log._entries] == list(
+                range(1, len(got) + 1)
+            )
+
+    @pytest.mark.parametrize("num_partitions", [2, 4])
+    def test_cross_partition_entries_share_version_and_split_ops(
+        self, num_partitions
+    ):
+        _, sharded = drive_certifier(num_partitions)
+        partition_map = PartitionMap(
+            num_partitions, table_groups=GROUPS[num_partitions]
+        )
+        by_global = {}
+        for p, shard in sharded.shards.items():
+            for entry in shard.log._entries:
+                by_global.setdefault(entry.global_version, {})[p] = entry
+        cross = {g: parts for g, parts in by_global.items() if len(parts) > 1}
+        assert cross, "the stream produced no cross-partition commits"
+        for g, parts in cross.items():
+            for p, entry in parts.items():
+                # Each shard holds only its own partition's ops...
+                assert {
+                    partition_map.partition_of(op.table) for op in entry.writeset
+                } == {p}
+                # ...and all slices agree on the predecessor vector.
+                assert entry.prevs == next(iter(parts.values())).prevs
+            assert {p for p, _prev in next(iter(parts.values())).prevs} == set(parts)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end safety audit at 2 and 4 partitions
+# ---------------------------------------------------------------------------
+
+
+def run_partitioned(level, num_partitions, tables_per_txn=1):
+    cluster = ReplicatedDatabase(
+        MicroBenchmark(
+            update_types=10, rows_per_table=200, tables_per_txn=tables_per_txn
+        ),
+        ClusterConfig(
+            num_replicas=4,
+            level=level,
+            seed=11,
+            num_partitions=num_partitions,
+            partition_table_groups=GROUPS[num_partitions],
+        ),
+    )
+    collector = MetricsCollector(measure_start=0.0)
+    cluster.add_clients(6, collector)
+    cluster.run(2_500.0)
+    cluster.quiesce()
+    return cluster, collector
+
+
+class TestEndToEndCheckers:
+    @pytest.mark.parametrize("num_partitions", [2, 4])
+    def test_strong_consistency_green(self, num_partitions):
+        cluster, collector = run_partitioned("sc-coarse", num_partitions)
+        assert collector.summary().committed > 1_000
+        assert is_strongly_consistent(cluster.history)
+        stats = cluster.certifier.stats()
+        assert (
+            stats["single_partition_commits"] + stats["cross_partition_commits"]
+            == stats["certified"]
+        )
+
+    @pytest.mark.parametrize("num_partitions", [2, 4])
+    def test_session_consistency_green(self, num_partitions):
+        cluster, collector = run_partitioned("session", num_partitions)
+        assert collector.summary().committed > 1_000
+        assert is_session_consistent(cluster.history)
+
+    def test_cross_partition_heavy_workload_stays_strong(self):
+        """Two-table transactions at one-table-per-partition: every update is
+        a cross-partition commit, exercising the multi-shard certify path,
+        the predecessor-vector sync waits and the out-of-order refresh apply
+        end to end."""
+        cluster, collector = run_partitioned("sc-coarse", 4, tables_per_txn=2)
+        assert collector.summary().committed > 1_000
+        assert is_strongly_consistent(cluster.history)
+        stats = cluster.certifier.stats()
+        assert stats["cross_partition_commits"] > 0
+        assert stats["single_partition_commits"] == 0
+        # Every replica converged to the global commit version.
+        for proxy in cluster.replicas.values():
+            assert proxy.v_local == cluster.commit_version
+
+    def test_replicas_converge_to_watermark(self):
+        cluster, _ = run_partitioned("sc-coarse", 4)
+        target = cluster.commit_version
+        assert target > 0
+        for proxy in cluster.replicas.values():
+            assert proxy.v_local == target
+            assert proxy.engine.database.version == target
+
+
+class TestPartitionAffinityRouting:
+    def test_requires_multiple_partitions(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(routing="partition-affinity")
+
+    def test_affinity_routing_stays_strong_and_counts_dispatches(self):
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=10, rows_per_table=200),
+            ClusterConfig(
+                num_replicas=4,
+                level="sc-coarse",
+                seed=11,
+                num_partitions=4,
+                partition_table_groups=GROUPS[4],
+                routing="partition-affinity",
+            ),
+        )
+        collector = MetricsCollector(measure_start=0.0)
+        cluster.add_clients(6, collector)
+        cluster.run(2_500.0)
+        cluster.quiesce()
+        assert collector.summary().committed > 1_000
+        assert is_strongly_consistent(cluster.history)
+        lb_stats = cluster.load_balancer.stats()
+        assert lb_stats["num_partitions"] == 4
+        assert lb_stats["single_partition_dispatched"] > 0
+        assert lb_stats["cross_partition_dispatched"] == 0  # one table per txn
+        # The per-partition version vector tracked acknowledged commits.
+        assert max(lb_stats["partition_versions"].values()) > 0
+        assert (
+            max(lb_stats["partition_versions"].values())
+            <= cluster.commit_version
+        )

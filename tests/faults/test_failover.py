@@ -170,7 +170,7 @@ class TestManualFailover:
         cluster.run(400.0)
         state = cluster.certifier.snapshot_state()
         assert set(state) == {
-            "replicas", "applied", "departed", "certification_mode",
+            "replicas", "applied", "departed", "departed_since", "certification_mode",
         }
         assert sorted(state["replicas"]) == sorted(cluster.replica_names)
         assert state["certification_mode"] == "index"

@@ -1,0 +1,172 @@
+"""Failover of the partitioned certifier: per-shard log shipping, standby
+promotion over shard log copies, and the nemesis gauntlet at 4 partitions.
+
+The standby tails partitioned :class:`~repro.middleware.messages.DecisionRecord`
+messages (one per commit, carrying every involved shard's entry), keeps
+per-shard :class:`~repro.middleware.durability.DecisionLog` copies, and on
+promotion hands them to the successor certifier together with the partition
+map — so certification resumes with every shard's index rebuilt and no
+acknowledged commit lost.
+"""
+
+import pytest
+
+from repro import ClusterConfig, ReplicatedDatabase
+from repro.faults import FaultInjector, Nemesis
+from repro.histories.checkers import strong_consistency_violations
+from repro.sim.rng import RngRegistry
+from repro.workloads import MicroBenchmark
+
+GROUPS_4 = (("t0",), ("t1",), ("t2",), ("t3",))
+
+
+def partitioned_standby_cluster(seed=7, clients=6, tables_per_txn=1, **overrides):
+    overrides.setdefault("num_replicas", 3)
+    config = ClusterConfig.self_healing(
+        seed=seed,
+        level="sc-fine",
+        num_partitions=4,
+        partition_table_groups=GROUPS_4,
+        **overrides,
+    )
+    cluster = ReplicatedDatabase(
+        MicroBenchmark(
+            update_types=20, rows_per_table=100, tables_per_txn=tables_per_txn
+        ),
+        config,
+    )
+    collector = cluster.add_clients(clients, retry_aborts=True)
+    return cluster, collector
+
+
+def audit(cluster):
+    """The safety audit the nemesis suite runs, against the partitioned
+    pipeline: strong consistency, no lost/doubled acknowledged commit,
+    convergence of every replica to the surviving certifier's version."""
+    certifier = cluster.certifier
+    balancer = cluster.load_balancer
+    history = balancer.history
+
+    violations = strong_consistency_violations(history)
+    assert violations == [], f"stale acknowledged reads: {violations[:3]}"
+
+    committed = [
+        r for r in history.records if r.committed and r.commit_version is not None
+    ]
+    for record in committed:
+        attempts = balancer.retry_lineage.get(record.request_id, [record.request_id])
+        decided = [
+            a for a in attempts if certifier.decision_for(a) == record.commit_version
+        ]
+        assert decided, (
+            f"acknowledged commit v{record.commit_version} has no decision"
+        )
+        in_log = [a for a in attempts if certifier.decision_for(a) is not None]
+        assert len(in_log) <= 1, f"lineage {record.request_id} committed twice"
+
+    for fenced in balancer.fenced_request_ids:
+        assert certifier.decision_for(fenced) is None
+
+    for proxy in cluster.replicas.values():
+        assert not proxy.crashed
+        assert proxy.v_local == certifier.commit_version, (
+            f"{proxy.name} stuck at v{proxy.v_local} "
+            f"(certifier at v{certifier.commit_version})"
+        )
+    return committed
+
+
+class TestPartitionedStandbyTailing:
+    def test_standby_keeps_per_shard_log_copies(self):
+        cluster, _ = partitioned_standby_cluster()
+        cluster.run(600.0)
+        standby = cluster.standby
+        assert standby.records_applied > 0
+        assert standby.shard_logs  # per-shard copies, not the legacy log
+        assert len(standby.log) == 0
+        cluster.quiesce()
+        assert standby.replicated_version == cluster.certifier.commit_version
+        # Each shard copy mirrors the primary shard's log exactly.
+        for p, shard in cluster.certifier.shards.items():
+            copy = standby.shard_logs.get(p)
+            primary_globals = [e.global_version for e in shard.log._entries]
+            copied_globals = (
+                [e.global_version for e in copy._entries] if copy else []
+            )
+            assert copied_globals == primary_globals
+
+
+class TestPartitionedPromotion:
+    def test_certifier_kill_promotes_partitioned_standby(self):
+        cluster, collector = partitioned_standby_cluster()
+        cluster.run(500.0)
+        injector = FaultInjector(cluster)
+        injector.kill_certifier()
+        cluster.run(2_000.0)
+        assert cluster.standby.promoted
+        successor = cluster.certifier
+        assert successor.name == "certifier-2"
+        assert successor.partitioned
+        assert set(successor.shards) == {0, 1, 2, 3}
+        before = cluster.commit_version
+        cluster.run(3_500.0)
+        assert cluster.commit_version > before  # shards certify again
+        cluster.quiesce(max_wait_ms=60_000.0)
+        committed = audit(cluster)
+        assert len(committed) > 50
+
+    def test_promotion_with_cross_partition_traffic(self):
+        cluster, _ = partitioned_standby_cluster(seed=13, tables_per_txn=2)
+        cluster.run(500.0)
+        injector = FaultInjector(cluster)
+        injector.kill_certifier()
+        cluster.run(2_000.0)
+        assert cluster.standby.promoted
+        successor = cluster.certifier
+        cluster.run(3_500.0)
+        cluster.quiesce(max_wait_ms=60_000.0)
+        audit(cluster)
+        assert successor.stats()["cross_partition_commits"] > 0
+
+
+class TestPartitionedNemesis:
+    @pytest.mark.parametrize("seed", [3, 19])
+    def test_nemesis_soak_stays_green_at_4_partitions(self, seed):
+        cluster, _ = partitioned_standby_cluster(seed=seed)
+        injector = FaultInjector(cluster)
+        nemesis = Nemesis(
+            cluster,
+            RngRegistry(seed).stream("nemesis"),
+            duration_ms=2_000.0,
+            injector=injector,
+            kill_certifier=True,
+        )
+        cluster.run(2_700.0)
+        cluster.quiesce(max_wait_ms=60_000.0)
+        assert nemesis.finished
+        committed = audit(cluster)
+        assert len(committed) > 100
+        if nemesis.certifier_killed:
+            assert cluster.standby.promoted
+            assert cluster.certifier.partitioned
+
+    def test_nemesis_certifier_kill_with_shard_promotion(self):
+        """The acceptance scenario: chaos including a certifier kill, the
+        standby promotes over its shard log copies, and the full safety
+        audit passes."""
+        cluster, _ = partitioned_standby_cluster(seed=19)
+        injector = FaultInjector(cluster)
+        nemesis = Nemesis(
+            cluster,
+            RngRegistry(19).stream("nemesis"),
+            duration_ms=2_000.0,
+            injector=injector,
+            kill_certifier=True,
+        )
+        cluster.run(2_700.0)
+        cluster.quiesce(max_wait_ms=60_000.0)
+        assert nemesis.certifier_killed
+        assert cluster.standby.promoted
+        assert cluster.certifier.epoch == 2
+        assert cluster.certifier.partitioned
+        audit(cluster)

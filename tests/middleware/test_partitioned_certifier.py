@@ -1,0 +1,286 @@
+"""Units for the partitioned commit pipeline's middleware pieces.
+
+Covers the :class:`~repro.core.partition.PartitionMap` contract, the
+per-partition :class:`~repro.middleware.shards.CertifierShard` bookkeeping,
+the departed-replica horizon grace (the unbounded-pinning fix) and the
+stale-recovery refusal that keeps that fix safe.
+"""
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.partition import PartitionMap
+from repro.metrics import format_partition_stats
+from repro.middleware import (
+    Certifier,
+    CertifierPerformance,
+    CertifierShard,
+    CertifyReply,
+    CertifyRequest,
+    RecoveryReply,
+)
+from repro.middleware.messages import CommitApplied, RecoveryRequest
+from repro.sim import Environment, LatencyModel, Network, RngRegistry
+from repro.storage.writeset import OpKind, WriteOp, WriteSet
+
+from .conftest import low_variance_params
+
+
+def update_ws(table, key):
+    return WriteSet([WriteOp(table, key, OpKind.UPDATE, {"id": key, "v": 1})])
+
+
+class TestPartitionMap:
+    def test_trivial_map(self):
+        pmap = PartitionMap(1)
+        assert pmap.is_trivial
+        assert pmap.partition_of("anything") == 0
+        assert pmap.partitions_for(["a", "b"]) == (0,)
+
+    def test_explicit_groups_pin_tables(self):
+        pmap = PartitionMap(2, table_groups=(("a", "b"), ("c",)))
+        assert pmap.partition_of("a") == 0
+        assert pmap.partition_of("b") == 0
+        assert pmap.partition_of("c") == 1
+        assert not pmap.is_trivial
+
+    def test_hash_fallback_is_stable_and_in_range(self):
+        pmap = PartitionMap(4)
+        for table in ("t0", "orders", "users"):
+            first = pmap.partition_of(table)
+            assert 0 <= first < 4
+            assert pmap.partition_of(table) == first
+
+    def test_partitions_for_is_sorted_and_deduplicated(self):
+        pmap = PartitionMap(2, table_groups=(("a",), ("b",)))
+        assert pmap.partitions_for(["b", "a", "b"]) == (0, 1)
+
+    def test_split_slots_partitions_the_set(self):
+        pmap = PartitionMap(2, table_groups=(("a",), ("b",)))
+        slots = {("a", 1), ("a", 2), ("b", 9)}
+        split = pmap.split_slots(slots)
+        assert split == {0: {("a", 1), ("a", 2)}, 1: {("b", 9)}}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionMap(0)
+        with pytest.raises(ValueError):
+            PartitionMap(1, table_groups=(("a",), ("b",)))  # more groups than n
+        with pytest.raises(ValueError):
+            PartitionMap(2, table_groups=(("a",), ("a",)))  # duplicate table
+
+
+class TestCertifierShard:
+    def test_append_assigns_dense_shard_sequence(self):
+        env = Environment()
+        shard = CertifierShard(env, partition=0)
+        for i, global_version in enumerate((3, 7, 8), start=1):
+            entry = shard.append_commit(
+                global_version, txn_id=i, origin="replica-0",
+                sub_writeset=update_ws("t", i), request_id=i,
+                prevs=((0, global_version - 1),),
+            )
+            assert entry.commit_version == i  # shard-local sequence
+            assert entry.global_version == global_version
+        assert shard.last_global == 8
+        assert shard.index.last_writer("t", 2) == 7
+
+    def test_truncate_to_global_drops_prefix_and_marks_horizon(self):
+        env = Environment()
+        shard = CertifierShard(env, partition=0)
+        for i, g in enumerate((2, 5, 9), start=1):
+            shard.append_commit(g, i, "replica-0", update_ws("t", i), i, ())
+        assert shard.truncate_to_global(6) == 2
+        assert shard.truncated_global == 5
+        assert len(shard.log) == 1
+        # The surviving entry's slots are still indexed; dropped ones not.
+        assert shard.index.last_writer("t", 3) == 9
+        assert shard.index.last_writer("t", 1) == 0
+        # Nothing below the horizon remains to drop.
+        assert shard.truncate_to_global(6) == 0
+
+    def test_rebuild_from_log_restores_index_and_last_global(self):
+        env = Environment()
+        shard = CertifierShard(env, partition=0)
+        for i, g in enumerate((2, 5), start=1):
+            shard.append_commit(g, i, "replica-0", update_ws("t", i), i, ())
+        clone = CertifierShard(env, partition=0, log=shard.log.clone())
+        assert clone.last_global == 5
+        assert clone.index.last_writer("t", 2) == 5
+
+
+def bare_certifier(env, network, partition_map=None, **overrides):
+    settings = dict(
+        env=env,
+        network=network,
+        perf=CertifierPerformance(low_variance_params(), RngRegistry(1).stream("c")),
+        replica_names=["replica-0", "replica-1"],
+        level=ConsistencyLevel.SC_COARSE,
+        partition_map=partition_map,
+    )
+    settings.update(overrides)
+    return Certifier(**settings)
+
+
+def certify(env, network, certifier, txn_id, table, key, snapshot=0):
+    network.send(
+        "replica-0",
+        certifier.name,
+        CertifyRequest(
+            txn_id=txn_id, origin="replica-0", snapshot_version=snapshot,
+            writeset=update_ws(table, key), request_id=txn_id,
+        ),
+    )
+    env.run()
+
+
+def make_network(env):
+    network = Network(
+        env, RngRegistry(7).stream("net"), LatencyModel(base=0.05, jitter=0.0)
+    )
+    origin = network.register("replica-0")
+    other = network.register("replica-1")
+    return network, origin, other
+
+
+class TestDepartedGrace:
+    """Regression for the unbounded horizon pinning: a departed replica's
+    progress entry must stop capping the replication horizon (and blocking
+    log truncation) once the configured grace elapses."""
+
+    def test_legacy_default_pins_forever(self):
+        env = Environment()
+        network, _, _ = make_network(env)
+        certifier = bare_certifier(env, network)  # departed_grace_ms=None
+        for txn in range(1, 4):
+            certify(env, network, certifier, txn, "t", txn)
+        network.send("replica-0", certifier.name, CommitApplied("replica-0", 3))
+        network.send("replica-1", certifier.name, CommitApplied("replica-1", 1))
+        env.run()
+        certifier.remove_replica("replica-1")
+        assert certifier.replication_horizon() == 1
+        env.run(until=env.now + 1_000_000.0)
+        assert certifier.replication_horizon() == 1  # pinned forever
+        assert certifier.departed_purged == 0
+
+    def test_grace_unpins_horizon_and_truncation_proceeds(self):
+        env = Environment()
+        network, _, _ = make_network(env)
+        certifier = bare_certifier(env, network, departed_grace_ms=500.0)
+        for txn in range(1, 4):
+            certify(env, network, certifier, txn, "t", txn)
+        network.send("replica-0", certifier.name, CommitApplied("replica-0", 3))
+        network.send("replica-1", certifier.name, CommitApplied("replica-1", 1))
+        env.run()
+        certifier.remove_replica("replica-1")
+        departure = env.now
+        assert certifier.replication_horizon() == 1
+        assert certifier.truncate_log() == 1  # only below the pin
+        env.run(until=departure + 499.0)
+        assert certifier.replication_horizon() == 1  # still within grace
+        env.run(until=departure + 500.0)
+        assert certifier.replication_horizon() == 3  # pin released
+        assert certifier.departed_purged == 1
+        assert certifier.truncate_log() == 2
+        assert certifier.stats()["departed_purged"] == 1
+
+    def test_returning_replica_within_grace_is_not_purged(self):
+        env = Environment()
+        network, _, _ = make_network(env)
+        certifier = bare_certifier(env, network, departed_grace_ms=500.0)
+        certify(env, network, certifier, 1, "t", 1)
+        network.send("replica-1", certifier.name, CommitApplied("replica-1", 1))
+        env.run()
+        certifier.remove_replica("replica-1")
+        env.run(until=env.now + 100.0)
+        certifier.add_replica("replica-1", applied_version=1)
+        env.run(until=env.now + 1_000.0)
+        assert certifier.departed_purged == 0
+        assert "replica-1" in certifier.applied_versions
+
+
+class TestStaleRecoveryRefusal:
+    """A replica purged past and returning after its history was truncated
+    must be refused re-admission instead of replayed with a hole."""
+
+    def _truncated_partitioned_certifier(self):
+        env = Environment()
+        network, origin, other = make_network(env)
+        pmap = PartitionMap(2, table_groups=(("t0",), ("t1",)))
+        certifier = bare_certifier(
+            env, network, partition_map=pmap, departed_grace_ms=100.0
+        )
+        for txn, table in enumerate(("t0", "t1", "t0", "t1"), start=1):
+            certify(env, network, certifier, txn, table, txn)
+        network.send("replica-0", certifier.name, CommitApplied("replica-0", 4))
+        network.send("replica-1", certifier.name, CommitApplied("replica-1", 1))
+        env.run()
+        certifier.remove_replica("replica-1")
+        env.run(until=env.now + 100.0)
+        assert certifier.truncate_log() == 4  # grace released the pin
+        return env, network, certifier, other
+
+    def test_stale_returnee_is_refused(self):
+        env, network, certifier, other = self._truncated_partitioned_certifier()
+        network.send("replica-1", certifier.name, RecoveryRequest("replica-1", 1))
+        env.run()
+        assert certifier.stale_recovery_refusals == 1
+        assert "replica-1" not in certifier.replica_names
+        replies = []
+        while len(other):
+            replies.append(other.receive().value)
+        assert not any(isinstance(r, RecoveryReply) for r in replies)
+
+    def test_caught_up_returnee_is_replayed(self):
+        env, network, certifier, other = self._truncated_partitioned_certifier()
+        network.send("replica-1", certifier.name, RecoveryRequest("replica-1", 4))
+        env.run()
+        assert certifier.stale_recovery_refusals == 0
+        assert "replica-1" in certifier.replica_names
+        replies = [m for m in iter_mailbox(other) if isinstance(m, RecoveryReply)]
+        assert len(replies) == 1
+        assert replies[0].entries == ()
+
+
+def iter_mailbox(mailbox):
+    while len(mailbox):
+        yield mailbox.receive().value
+
+
+class TestPartitionedCertifierStats:
+    def test_per_shard_counters_and_renderer(self):
+        env = Environment()
+        network, origin, _ = make_network(env)
+        pmap = PartitionMap(2, table_groups=(("t0",), ("t1",)))
+        certifier = bare_certifier(env, network, partition_map=pmap)
+        for txn, table in enumerate(("t0", "t1", "t0"), start=1):
+            certify(env, network, certifier, txn, table, txn)
+        # A conflicting rewrite of a committed key from a stale snapshot.
+        certify(env, network, certifier, 4, "t0", 1, snapshot=0)
+        stats = certifier.stats()
+        assert stats["num_partitions"] == 2
+        assert stats["certified"] == 3
+        assert stats["aborts"] == 1
+        assert stats["shards"][0]["certified"] == 2
+        assert stats["shards"][0]["aborts"] == 1
+        assert stats["shards"][1]["certified"] == 1
+        assert stats["shards"][0]["last_global"] == 3
+        assert stats["shards"][1]["last_global"] == 2
+        rendered = format_partition_stats(
+            {"partition": {"certifier": stats, "balancer": {}}}, title="partitions"
+        )
+        assert "partitions=2" in rendered
+        assert "shard" in rendered and "last_global" in rendered
+
+    def test_abort_reports_first_conflicting_version(self):
+        env = Environment()
+        network, origin, _ = make_network(env)
+        pmap = PartitionMap(2, table_groups=(("t0",), ("t1",)))
+        certifier = bare_certifier(env, network, partition_map=pmap)
+        certify(env, network, certifier, 1, "t0", 5)
+        certify(env, network, certifier, 2, "t0", 5, snapshot=1)  # commits at 2
+        drained = list(iter_mailbox(origin))
+        certify(env, network, certifier, 3, "t0", 5, snapshot=0)
+        replies = [m for m in iter_mailbox(origin) if isinstance(m, CertifyReply)]
+        assert replies[-1].certified is False
+        assert replies[-1].conflict_with == 1  # the *first* writer, not the last

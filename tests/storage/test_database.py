@@ -76,6 +76,47 @@ class TestVersions:
         assert db.latest_write_version("t", 99) == 0
 
 
+class TestGapTolerantApply:
+    """``allow_gaps`` (the partitioned refresh path): applies may land out
+    of order, but visibility is the contiguous watermark."""
+
+    @pytest.fixture
+    def gdb(self):
+        database = Database("test", allow_gaps=True)
+        database.create_table(
+            TableSchema("t", [Column("id", int), Column("v", int)], "id")
+        )
+        return database
+
+    def test_gap_apply_holds_watermark(self, gdb):
+        gdb.apply_writeset(writeset(1, 10, OpKind.INSERT), 1)
+        gdb.apply_writeset(writeset(3, 30, OpKind.INSERT), 3)
+        assert gdb.version == 1  # 2 is missing: watermark stays put
+        assert gdb.has_applied(1)
+        assert gdb.has_applied(3)
+        assert not gdb.has_applied(2)
+
+    def test_filling_the_gap_absorbs_the_run(self, gdb):
+        gdb.apply_writeset(writeset(1, 10, OpKind.INSERT), 1)
+        gdb.apply_writeset(writeset(3, 30, OpKind.INSERT), 3)
+        gdb.apply_writeset(writeset(4, 40, OpKind.INSERT), 4)
+        gdb.apply_writeset(writeset(2, 20, OpKind.INSERT), 2)
+        assert gdb.version == 4
+        assert gdb.has_applied(4)
+
+    def test_duplicate_rejected_even_with_gaps(self, gdb):
+        gdb.apply_writeset(writeset(3, 30, OpKind.INSERT), 3)
+        with pytest.raises(StorageError):
+            gdb.apply_writeset(writeset(3, 31, OpKind.INSERT), 3)
+        with pytest.raises(StorageError):
+            gdb.apply_writeset(writeset(1, 10, OpKind.INSERT), 0)
+
+    def test_default_database_still_strict(self, db):
+        assert db.has_applied(0)
+        with pytest.raises(StorageError):
+            db.apply_writeset(writeset(1, 10, OpKind.INSERT), 2)
+
+
 class TestWritesetHistory:
     def test_writesets_since(self, db):
         for version in range(1, 4):
