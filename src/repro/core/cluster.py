@@ -32,11 +32,13 @@ from ..middleware.perfmodel import (
     draw_speed_factors,
 )
 from ..middleware.proxy import ReplicaProxy
+from ..middleware.scrubber import Scrubber, ScrubSettings
 from ..middleware.standby import CertifierStandby
 from ..sim.kernel import Environment
 from ..sim.network import LatencyModel, Network
 from ..sim.rng import RngRegistry
 from ..storage.database import Database
+from ..storage.digest import DigestTracker
 from ..storage.engine import StorageEngine
 from ..workloads.base import Workload
 from ..workloads.clients import ClientPool
@@ -136,6 +138,20 @@ class ClusterConfig:
     #: total admission-queue depth at which the valve opens / closes
     valve_high: int = 16
     valve_low: int = 4
+    # -- anti-entropy (all off by default; see docs/PROTOCOL.md) ------------
+    #: period between scrub rounds (None = no scrubber, no digest oracle —
+    #: the whole anti-entropy subsystem stays unconstructed)
+    scrub_interval_ms: Optional[float] = None
+    #: deep scrubs rescan every visible row (catches in-place bit rot);
+    #: light scrubs answer from the incremental digests (apply bugs only)
+    scrub_deep: bool = True
+    #: how long a scrub round collects digest replies before evaluating
+    scrub_reply_timeout_ms: float = 30.0
+    #: drive peer row-sync repair automatically (False = quarantine only)
+    scrub_auto_repair: bool = True
+    #: seeded network delivery faults (0.0 = off, no random draws)
+    net_duplicate_prob: float = 0.0
+    net_reorder_prob: float = 0.0
 
     def __post_init__(self):
         if self.num_replicas < 1:
@@ -177,6 +193,13 @@ class ClusterConfig:
                 )
             # Fail fast on an unknown/unparseable policy spec.
             resolve_policy(self.degradation_policy, freshness_bound=self.freshness_bound)
+        if self.scrub_interval_ms is not None:
+            # Fail fast on invalid scrub settings.
+            self.scrub_settings
+        if not 0.0 <= self.net_duplicate_prob <= 1.0:
+            raise ValueError("net_duplicate_prob must be in [0, 1]")
+        if not 0.0 <= self.net_reorder_prob <= 1.0:
+            raise ValueError("net_reorder_prob must be in [0, 1]")
 
     @classmethod
     def self_healing(cls, **overrides) -> "ClusterConfig":
@@ -207,6 +230,31 @@ class ClusterConfig:
         )
         settings.update(overrides)
         return cls(**settings)
+
+    @classmethod
+    def anti_entropy(cls, **overrides) -> "ClusterConfig":
+        """A configuration with the anti-entropy subsystem enabled: periodic
+        deep scrubbing, quarantine on divergence and automatic peer row-sync
+        repair.  Any field can still be overridden by keyword."""
+        settings = dict(
+            scrub_interval_ms=200.0,
+            scrub_deep=True,
+            scrub_auto_repair=True,
+        )
+        settings.update(overrides)
+        return cls(**settings)
+
+    @property
+    def scrub_settings(self) -> Optional["ScrubSettings"]:
+        """The resolved scrub settings (None when scrubbing is off)."""
+        if self.scrub_interval_ms is None:
+            return None
+        return ScrubSettings(
+            interval_ms=self.scrub_interval_ms,
+            deep=self.scrub_deep,
+            reply_timeout_ms=self.scrub_reply_timeout_ms,
+            auto_repair=self.scrub_auto_repair,
+        )
 
     @property
     def partition_map(self) -> Optional[PartitionMap]:
@@ -254,7 +302,18 @@ class ReplicatedDatabase:
         self.policy = resolve_policy(config.level, freshness_bound=config.freshness_bound)
         self.env = Environment()
         self.rngs = RngRegistry(config.seed)
-        self.network = Network(self.env, self.rngs.stream("network"), config.latency)
+        self.network = Network(
+            self.env,
+            self.rngs.stream("network"),
+            config.latency,
+            duplicate_prob=config.net_duplicate_prob,
+            reorder_prob=config.net_reorder_prob,
+            fault_rng=(
+                self.rngs.stream("network:faults")
+                if config.net_duplicate_prob > 0 or config.net_reorder_prob > 0
+                else None
+            ),
+        )
         self.templates = workload.catalog()
         self.params = config.params or workload.performance_params()
         self.history: Optional[RunHistory] = RunHistory() if config.record_history else None
@@ -300,6 +359,19 @@ class ReplicatedDatabase:
                 partition_map=self.partition_map,
             )
 
+        # Anti-entropy oracles: seeded from replica 0's populated database at
+        # version 0 (every copy loads the identical initial data set).  The
+        # standby keeps its own tracker, fed from the records it tails, so a
+        # promoted certifier still holds a live oracle.
+        scrub_settings = config.scrub_settings
+        digest_tracker = None
+        standby_tracker = None
+        if scrub_settings is not None:
+            seed_db = self.replicas[self.replica_names[0]].engine.database
+            digest_tracker = DigestTracker.from_database(seed_db)
+            if config.standby_certifier:
+                standby_tracker = DigestTracker.from_database(seed_db)
+
         self.certifier = Certifier(
             env=self.env,
             network=self.network,
@@ -313,6 +385,7 @@ class ReplicatedDatabase:
             inbound_queue_bound=config.certifier_queue_bound,
             partition_map=self.partition_map,
             departed_grace_ms=config.departed_grace_ms,
+            digest_tracker=digest_tracker,
         )
         self.load_balancer = LoadBalancer(
             env=self.env,
@@ -346,6 +419,20 @@ class ReplicatedDatabase:
                 certification_mode=config.certification_mode,
                 partition_map=self.partition_map,
                 departed_grace_ms=config.departed_grace_ms,
+                digest_tracker=standby_tracker,
+            )
+        self.scrubber: Optional[Scrubber] = None
+        if scrub_settings is not None:
+            self.scrubber = Scrubber(
+                env=self.env,
+                network=self.network,
+                replica_names=list(self.replica_names),
+                # A callable, not the tracker: after a certifier failover the
+                # promoted successor (adopted below) carries the standby's
+                # tracker, and the scrubber must follow it.
+                tracker_provider=lambda: self.certifier.digest_tracker,
+                balancer=self.load_balancer,
+                settings=scrub_settings,
             )
         self._session_counter = 0
         self.client_pool: Optional[ClientPool] = None
@@ -446,7 +533,10 @@ class ReplicatedDatabase:
                 "sent": self.network.sent_count,
                 "dropped": self.network.dropped_count,
                 "dropped_by_reason": dict(self.network.dropped_by_reason),
+                "injected": self.network.injected_count,
+                "injected_by_reason": dict(self.network.injected_by_reason),
             },
+            "scrub": self.scrubber.stats() if self.scrubber is not None else None,
             "balancer": {
                 "v_system": self.load_balancer.v_system,
                 "outstanding": self.load_balancer.outstanding_count,

@@ -41,6 +41,9 @@ class FaultInjector:
         self.cluster = cluster
         self.crashed_replicas: set[str] = set()
         self._failover_count = 0
+        #: corruption injections, for the anti-entropy audits:
+        #: ``(time, kind, replica, detail)`` tuples
+        self.corruptions: list[tuple] = []
 
     # -- helpers -------------------------------------------------------------
     @property
@@ -149,6 +152,67 @@ class FaultInjector:
             )
             sent += 1
         return sent
+
+    # -- silent corruption (anti-entropy faults) -------------------------------
+    def corrupt_row(self, name: str, table: str = None, key=None) -> tuple:
+        """Bit rot: scramble one visible row image in place on one replica,
+        beneath the incremental digest bookkeeping.
+
+        With ``table``/``key`` unset, a target is drawn from the dedicated
+        ``injector:corruption`` stream (reproducible; never perturbs client
+        streams).  Only a *deep* scrub can see this fault.  Returns the
+        ``(table, key)`` actually corrupted.
+        """
+        self._check_replica(name)
+        if name in self.crashed_replicas:
+            raise ValueError(f"replica {name!r} is crashed; corrupt a live one")
+        db = self.cluster.replicas[name].engine.database
+        rng = self.cluster.rngs.stream("injector:corruption")
+        if table is None:
+            candidates = [
+                t for t in db.table_names
+                if any(not d for _k, _v, _lcv, d in db.table(t).latest_states())
+            ]
+            if not candidates:
+                raise ValueError(f"replica {name!r} holds no visible rows")
+            table = rng.choice(sorted(candidates))
+        if key is None:
+            keys = [
+                k for k, _v, _lcv, deleted in db.table(table).latest_states()
+                if not deleted
+            ]
+            if not keys:
+                raise ValueError(f"table {table!r} holds no visible rows")
+            key = rng.choice(keys)
+        if not db.corrupt_row_in_place(table, key):
+            raise ValueError(f"no visible image at {table!r}:{key!r}")
+        self.corruptions.append(
+            (self.cluster.env.now, "corrupt_row", name, (table, key))
+        )
+        return table, key
+
+    def skip_refresh(self, name: str) -> None:
+        """Lost apply: the replica's next refresh advances its version
+        bookkeeping but installs no rows — it silently believes it applied
+        the writeset.  Detected by any scrub (the digests miss the ops)."""
+        self._check_replica(name)
+        if name in self.crashed_replicas:
+            raise ValueError(f"replica {name!r} is crashed; corrupt a live one")
+        self.cluster.replicas[name]._corrupt_next_refresh = "skip"
+        self.corruptions.append((self.cluster.env.now, "skip_refresh", name, None))
+
+    def double_apply_refresh(self, name: str) -> None:
+        """Non-idempotent double application: the replica's next refresh
+        applies normally, then each written row's numeric deltas fold in a
+        second time in place.  Only a *deep* scrub can see this fault (the
+        incremental digest saw one clean apply)."""
+        self._check_replica(name)
+        if name in self.crashed_replicas:
+            raise ValueError(f"replica {name!r} is crashed; corrupt a live one")
+        self.cluster.replicas[name]._corrupt_next_refresh = "double"
+        self.corruptions.append(
+            (self.cluster.env.now, "double_apply_refresh", name, None)
+        )
 
     # -- link partitions -------------------------------------------------------
     def partition_link(self, sender: str, recipient: str, symmetric: bool = False) -> None:

@@ -49,6 +49,8 @@ class Nemesis:
         max_partitions: int = 2,
         overload_bursts: bool = False,
         overload_request_count: int = 40,
+        corruption: bool = False,
+        max_corruptions: int = 3,
     ):
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
@@ -66,6 +68,12 @@ class Nemesis:
         #: schedules replay unchanged)
         self.overload_bursts = overload_bursts
         self.overload_request_count = overload_request_count
+        #: include "corrupt" faults: silent divergence (bit rot, lost or
+        #: doubled refresh applies) on one live replica — only meaningful
+        #: against a cluster running the scrubber, and off by default so
+        #: existing seeded schedules replay unchanged
+        self.corruption = corruption
+        self.max_corruptions = max_corruptions
         #: (virtual time, action, detail) — the reproducible fault schedule
         self.actions: list[tuple[float, str, str]] = []
         #: links currently cut by this nemesis: (sender, recipient, symmetric)
@@ -107,6 +115,12 @@ class Nemesis:
             choices.append("heal")
         if self.overload_bursts and self.injector.surviving_replicas():
             choices.append("overload")
+        if (
+            self.corruption
+            and len(self.injector.corruptions) < self.max_corruptions
+            and self.injector.surviving_replicas()
+        ):
+            choices.append("corrupt")
         if (
             self.kill_certifier
             and not self.certifier_killed
@@ -155,6 +169,25 @@ class Nemesis:
         name = self.rng.choice(self.injector.surviving_replicas())
         sent = self.injector.overload(name, requests=self.overload_request_count)
         self._log("overload", f"{name} x{sent}")
+
+    def _do_corrupt(self) -> None:
+        name = self.rng.choice(self.injector.surviving_replicas())
+        kind = self.rng.choice(["corrupt_row", "skip_refresh", "double_apply"])
+        if kind == "corrupt_row":
+            try:
+                table, key = self.injector.corrupt_row(name)
+            except ValueError:
+                # No visible rows yet (workload barely started); skip the
+                # tick rather than crash the schedule.
+                self._log("corrupt-skipped", f"{name} (no visible rows)")
+                return
+            self._log("corrupt", f"{name} corrupt_row {table}:{key}")
+        elif kind == "skip_refresh":
+            self.injector.skip_refresh(name)
+            self._log("corrupt", f"{name} skip_refresh")
+        else:
+            self.injector.double_apply_refresh(name)
+            self._log("corrupt", f"{name} double_apply_refresh")
 
     def _do_kill_certifier(self) -> None:
         killed = self.injector.kill_certifier()

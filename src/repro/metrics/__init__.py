@@ -2,7 +2,13 @@
 
 from .ascii_chart import line_chart
 from .collector import MetricsCollector, MetricsSummary, TxnSample
-from .report import format_breakdown, format_partition_stats, format_series, format_table
+from .report import (
+    format_breakdown,
+    format_partition_stats,
+    format_scrub_stats,
+    format_series,
+    format_table,
+)
 from .stages import STAGE_NAMES, StageTimings
 
 __all__ = [
@@ -14,6 +20,7 @@ __all__ = [
     "TxnSample",
     "format_breakdown",
     "format_partition_stats",
+    "format_scrub_stats",
     "format_series",
     "format_table",
 ]

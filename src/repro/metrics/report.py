@@ -11,7 +11,13 @@ from typing import Mapping, Sequence
 
 from .stages import STAGE_NAMES, StageTimings
 
-__all__ = ["format_table", "format_series", "format_breakdown", "format_partition_stats"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_breakdown",
+    "format_partition_stats",
+    "format_scrub_stats",
+]
 
 
 def format_table(
@@ -120,4 +126,47 @@ def format_partition_stats(stats: Mapping, title: str = "") -> str:
             for p, shard in sorted(shards.items())
         ]
         lines.append(format_table(headers, rows))
+    return "\n".join(lines)
+
+
+def format_scrub_stats(stats: Mapping, title: str = "") -> str:
+    """Render the anti-entropy view of a cluster stats dict.
+
+    ``stats`` is either the full :meth:`~repro.core.cluster.ReplicatedDatabase.stats`
+    snapshot (the ``"scrub"`` key is used) or that key's value directly
+    (:meth:`~repro.middleware.scrubber.Scrubber.stats`).
+    """
+    scrub = stats.get("scrub", stats) if "scrub" in stats else stats
+    lines = []
+    if title:
+        lines.append(title)
+    if scrub is None:
+        lines.append("scrubbing disabled (scrub_interval_ms=None)")
+        return "\n".join(lines)
+    lines.append(
+        "rounds={}  replies={}  skipped: unaligned={} unanswerable={}".format(
+            scrub.get("scrub_rounds", 0),
+            scrub.get("digest_replies", 0),
+            scrub.get("unaligned_skips", 0),
+            scrub.get("unanswerable_skips", 0),
+        )
+    )
+    lines.append(
+        "divergences={} (tables={})  quarantines={}  readmissions={}".format(
+            scrub.get("divergences_detected", 0),
+            scrub.get("diverged_tables_detected", 0),
+            scrub.get("quarantines", 0),
+            scrub.get("readmissions", 0),
+        )
+    )
+    lines.append(
+        "repairs={}  rows-repaired={}  mean-quarantine={:.1f}ms".format(
+            scrub.get("repairs_completed", 0),
+            scrub.get("rows_repaired", 0),
+            scrub.get("mean_quarantine_ms", 0.0),
+        )
+    )
+    quarantined = scrub.get("currently_quarantined", [])
+    if quarantined:
+        lines.append("still quarantined: " + ", ".join(quarantined))
     return "\n".join(lines)

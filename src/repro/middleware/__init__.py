@@ -9,7 +9,7 @@ from .certifier import Certifier
 from .certindex import CertificationIndex
 from .clock import VersionClock
 from .context import TxnContext
-from .durability import DecisionLog, LogEntry
+from .durability import DecisionLog, LogCorruptionError, LogEntry
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
 from .loadbalancer import LoadBalancer
 from .messages import (
@@ -53,6 +53,7 @@ __all__ = [
     "CommitApplied",
     "DecisionAck",
     "DecisionLog",
+    "LogCorruptionError",
     "DecisionRecord",
     "FateQuery",
     "FateReply",

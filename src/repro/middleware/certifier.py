@@ -45,6 +45,7 @@ from ..core.policy import resolve_policy
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from ..sim.resources import Resource
+from ..storage.digest import DigestTracker
 from ..storage.writeset import WriteSet
 from .certindex import CertificationIndex
 from .durability import DecisionLog, LogEntry
@@ -91,6 +92,7 @@ class Certifier:
         partition_map: Optional[PartitionMap] = None,
         shard_logs: Optional[dict] = None,
         departed_grace_ms: Optional[float] = None,
+        digest_tracker: Optional[DigestTracker] = None,
     ):
         if inbound_queue_bound is not None and inbound_queue_bound < 1:
             raise ValueError("inbound_queue_bound must be >= 1")
@@ -140,6 +142,10 @@ class Certifier:
             if certification_mode == "index" and not self.partitioned
             else None
         )
+        #: anti-entropy expectation oracle (None = scrubbing disabled): fed
+        #: every certified writeset, it answers what any replica's per-table
+        #: digests must be at any un-truncated version
+        self.digest_tracker = digest_tracker
         self.mailbox: Mailbox = network.register(name)
         self._service = Resource(env, capacity=1)
         # Replica progress: newest version each replica reported applied.
@@ -207,6 +213,9 @@ class Certifier:
         self.stale_recovery_refusals = 0
         #: certifications refused by the inbound-queue bound
         self.backpressure_rejects = 0
+        #: already-decided requests redelivered by the network and answered
+        #: by re-sending the original decision instead of re-certifying
+        self.duplicate_certify_requests = 0
         #: row comparisons performed by conflict detection (both modes);
         #: the scaling bench and CI perf smoke key on this, not wall-clock
         self.row_comparisons = 0
@@ -295,6 +304,10 @@ class Certifier:
         the horizon is applied everywhere regardless of its partition.
         """
         horizon = self.replication_horizon()
+        if self.digest_tracker is not None:
+            # The oracle's change-point history tracks the log: expectations
+            # below the horizon are never asked for again.
+            self.digest_tracker.truncate(horizon)
         if self.partitioned:
             return sum(
                 shard.truncate_to_global(horizon)
@@ -450,7 +463,38 @@ class Certifier:
             self.name, ping.sender, HeartbeatAck(self.name, ping.seq, payload)
         )
 
+    def _replayed_decision(self, request: CertifyRequest) -> bool:
+        """Re-send the decision for an already-decided request, if any.
+
+        At-least-once delivery can hand the certifier the same
+        CertifyRequest twice (the network's ``duplicate_prob``).
+        Re-certifying the second copy would conflict with the first copy's
+        own commit and abort a transaction the origin may already treat as
+        committed — so a decided request_id is answered by replaying the
+        original decision, never by deciding again.
+
+        A replayed partitioned commit omits ``prev_versions``; the origin
+        then falls back to the full-prefix sync wait — stricter, still safe.
+        """
+        version = self._request_index.get(request.request_id)
+        if version is None and request.request_id not in self._aborted_requests:
+            return False
+        self.duplicate_certify_requests += 1
+        self.network.send(
+            self.name,
+            request.origin,
+            CertifyReply(
+                txn_id=request.txn_id,
+                request_id=request.request_id,
+                certified=version is not None,
+                commit_version=version,
+            ),
+        )
+        return True
+
     def _handle_certify(self, request: CertifyRequest):
+        if self._replayed_decision(request):
+            return
         if (
             self.inbound_queue_bound is not None
             and len(self.mailbox) >= self.inbound_queue_bound
@@ -518,6 +562,8 @@ class Certifier:
         self.log.append(entry)
         if self._index is not None:
             self._index.record(version, request.writeset)
+        if self.digest_tracker is not None:
+            self.digest_tracker.apply(request.writeset, version)
         self.certified_count += 1
         self._request_index[request.request_id] = version
         if self.policy.tracks_global_commit:
@@ -555,6 +601,8 @@ class Certifier:
         commit can slip into an already-checked shard — which is what
         preserves first-committer-wins across the partitioned pipeline.
         """
+        if self._replayed_decision(request):
+            return
         if (
             self.inbound_queue_bound is not None
             and len(self.mailbox) >= self.inbound_queue_bound
@@ -588,6 +636,10 @@ class Certifier:
             yield self.env.timeout(self.perf.certify(len(request.writeset)))
             if self.halted:
                 # Crashed mid-certification: the decision was never made.
+                return
+            if self._replayed_decision(request):
+                # A duplicate that raced the original here serialised behind
+                # it on the shared shard slots; the decision now exists.
                 return
             if request.request_id in self._fenced:
                 self.abort_count += 1
@@ -684,6 +736,8 @@ class Certifier:
             self.shards[p].certified_count += 1
             shard_entries.append((p, entry))
         self._global_version = version
+        if self.digest_tracker is not None:
+            self.digest_tracker.apply(request.writeset, version)
         self.certified_count += 1
         if cross:
             self.cross_partition_commits += 1

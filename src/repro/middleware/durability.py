@@ -12,12 +12,27 @@ and examples can inspect the persisted form.
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..storage.writeset import OpKind, WriteOp, WriteSet
 
-__all__ = ["LogEntry", "DecisionLog"]
+__all__ = ["LogEntry", "DecisionLog", "LogCorruptionError"]
+
+
+class LogCorruptionError(ValueError):
+    """The file sink holds a line whose CRC32 frame does not verify — and it
+    is not a torn tail, so the damage cannot be explained by a crashed
+    writer.  Carries the path and 1-based line number of the bad line."""
+
+    def __init__(self, path: str, line_number: int, why: str):
+        super().__init__(
+            f"decision log {path!r} corrupt at line {line_number}: {why}"
+        )
+        self.path = path
+        self.line_number = line_number
+        self.why = why
 
 
 @dataclass(frozen=True)
@@ -88,6 +103,29 @@ class LogEntry:
         )
 
 
+def _frame(payload: str) -> str:
+    """One durable log line: ``payload TAB crc32hex``.
+
+    The JSON payload never contains a literal tab (``json.dumps`` escapes
+    control characters), so the frame splits unambiguously from the right.
+    """
+    return f"{payload}\t{zlib.crc32(payload.encode('utf-8')):08x}"
+
+
+def _unframe(line: str) -> str:
+    """Verify a framed line and return its payload; raises ``ValueError``
+    with a precise cause on a bad frame."""
+    payload, sep, crc = line.rpartition("\t")
+    if not sep:
+        raise ValueError("missing CRC32 frame")
+    if len(crc) != 8 or any(c not in "0123456789abcdef" for c in crc):
+        raise ValueError(f"malformed CRC32 field {crc!r}")
+    actual = zlib.crc32(payload.encode("utf-8"))
+    if actual != int(crc, 16):
+        raise ValueError(f"CRC32 mismatch: stored {crc}, computed {actual:08x}")
+    return payload
+
+
 class DecisionLog:
     """Totally ordered durable log of commit decisions.
 
@@ -95,6 +133,11 @@ class DecisionLog:
     applied a version (the certifier's *replication horizon*), the entries
     at or below it are no longer needed for recovery or conflict checks and
     can be dropped from memory.  Indexing accounts for the truncated prefix.
+
+    The file sink frames every line with a CRC32 of its payload so
+    :meth:`load` can tell a torn final write (crash mid-append — recoverable
+    by dropping the tail) from corruption in the body of the log (fatal:
+    :class:`LogCorruptionError`).
     """
 
     def __init__(self, path: Optional[str] = None):
@@ -103,6 +146,8 @@ class DecisionLog:
         self._offset = 0
         self._path = path
         self._file = open(path, "a", encoding="utf-8") if path else None
+        #: torn final lines dropped by :meth:`load` when rebuilding this log
+        self.torn_tail_dropped = 0
 
     def __len__(self) -> int:
         """Entries currently held in memory (excludes the truncated prefix)."""
@@ -132,7 +177,7 @@ class DecisionLog:
             )
         self._entries.append(entry)
         if self._file is not None:
-            self._file.write(entry.to_json() + "\n")
+            self._file.write(_frame(entry.to_json()) + "\n")
             self._file.flush()
 
     def truncate_to(self, version: int) -> int:
@@ -201,12 +246,31 @@ class DecisionLog:
             self._file = None
 
     @staticmethod
-    def load(path: str) -> "DecisionLog":
-        """Rebuild a log from its file sink (certifier crash recovery)."""
+    def load(path: str, truncate_torn_tail: bool = True) -> "DecisionLog":
+        """Rebuild a log from its file sink (certifier crash recovery).
+
+        Every line's CRC32 frame is verified (lines from pre-CRC sinks have
+        no frame and are accepted as long as they parse).  A bad *final*
+        line is a torn write — the writer crashed mid-append and the
+        decision never became durable: with ``truncate_torn_tail`` (the
+        default) it is dropped and counted in :attr:`torn_tail_dropped`;
+        otherwise it raises.  A bad line anywhere *before* the tail cannot
+        be a torn write and always raises :class:`LogCorruptionError`
+        naming the exact line.
+        """
         log = DecisionLog()
         with open(path, encoding="utf-8") as f:
-            for line in f:
-                line = line.strip()
-                if line:
-                    log.append(LogEntry.from_json(line))
+            lines = f.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()  # trailing newline of a clean final append
+        for index, line in enumerate(lines):
+            try:
+                payload = _unframe(line) if "\t" in line else line
+                entry = LogEntry.from_json(payload)
+            except ValueError as exc:
+                if index == len(lines) - 1 and truncate_torn_tail:
+                    log.torn_tail_dropped += 1
+                    return log
+                raise LogCorruptionError(path, index + 1, str(exc)) from exc
+            log.append(entry)
         return log

@@ -165,6 +165,12 @@ class LoadBalancer:
 
         self._replicas = list(replica_names)
         self._up = set(replica_names)
+        #: replicas whose state diverged (scrubber verdict): alive and still
+        #: applying refreshes, but never routed to until repaired and
+        #: re-verified.  Distinct from down — a quarantined replica answers
+        #: heartbeats, so suspicion-based recovery must not re-admit it.
+        self._quarantined: set[str] = set()
+        self.quarantine_count = 0
         self._active_count: dict[str, int] = {r: 0 for r in replica_names}
         self._round_robin_next = 0
         # current-attempt request_id -> entry for in-flight requests.
@@ -418,6 +424,7 @@ class LoadBalancer:
         while (
             queue
             and replica in self._up
+            and replica not in self._quarantined
             and self._active_count.get(replica, 0) < settings.mpl_cap
         ):
             request, read_only = queue.popleft()
@@ -464,9 +471,16 @@ class LoadBalancer:
         partition and unknown-shape requests fall back to least-active.
         Returns None when no replica is available.
         """
-        candidates = [r for r in self._replicas if r in self._up and r not in exclude]
+        routable = [
+            r
+            for r in self._replicas
+            if r in self._up and r not in self._quarantined
+        ]
+        candidates = [r for r in routable if r not in exclude]
         if not candidates:
-            candidates = [r for r in self._replicas if r in self._up]
+            # Fall back to the excluded set rather than fail — but never to a
+            # quarantined replica: wrong data is worse than no answer.
+            candidates = routable
         if not candidates:
             return None
         if self.routing == "round-robin":
@@ -744,6 +758,13 @@ class LoadBalancer:
         even though the client sees a failure — the inherent client
         uncertainty of the crash-recovery model; see DESIGN.md D5."""
         self._up.discard(replica)
+        self._evacuate(replica, f"replica {replica} suspected",
+                       f"replica {replica} failed")
+
+    def _evacuate(self, replica: str, timeout_why: str, failure_why: str) -> None:
+        """Drain a no-longer-routable replica: re-admit its queued requests
+        elsewhere and re-route / fate-resolve its in-flight ones (shared by
+        the down and quarantine paths)."""
         queue = self._pending.get(replica)
         if queue:
             # Re-admit the dead replica's queued (never dispatched) requests
@@ -761,14 +782,39 @@ class LoadBalancer:
         for request_id, entry in affected:
             self._release_slot(entry)
             if self.request_deadline_ms is not None:
-                self._handle_timeout(request_id, entry, f"replica {replica} suspected")
+                self._handle_timeout(request_id, entry, timeout_why)
             else:
                 del self._outstanding[request_id]
-                self._respond_failure(
-                    entry.client_request, f"replica {replica} failed", replica
-                )
+                self._respond_failure(entry.client_request, failure_why, replica)
 
     def replica_up(self, replica: str) -> None:
         """Resume routing to a recovered replica."""
         if replica in self._replicas:
             self._up.add(replica)
+
+    # -- quarantine (anti-entropy) --------------------------------------------
+    @property
+    def quarantined_replicas(self) -> frozenset:
+        return frozenset(self._quarantined)
+
+    def quarantine_replica(self, replica: str) -> None:
+        """Stop routing to a diverged replica (scrubber verdict).
+
+        The replica stays in certifier membership and keeps applying
+        refreshes — only client traffic is fenced off.  Its admission queue
+        and in-flight requests are evacuated exactly like a suspected
+        replica's: reads re-route, updates fate-resolve.
+        """
+        if replica in self._quarantined:
+            return
+        self._quarantined.add(replica)
+        self.quarantine_count += 1
+        self._evacuate(replica, f"replica {replica} quarantined",
+                       f"replica {replica} quarantined")
+
+    def unquarantine_replica(self, replica: str) -> None:
+        """Re-admit a repaired replica whose digest re-verified clean."""
+        if replica not in self._quarantined:
+            return
+        self._quarantined.discard(replica)
+        self._pump(replica)

@@ -34,6 +34,12 @@ __all__ = [
     "DecisionAck",
     "CertifierSuspected",
     "StandbyPromoted",
+    "DigestRequest",
+    "DigestReply",
+    "TableSyncRequest",
+    "TableSyncReply",
+    "RepairApply",
+    "RepairAck",
 ]
 
 _request_ids = itertools.count(1)
@@ -311,6 +317,99 @@ class CertifierSuspected:
     voter: str
     certifier: str
     retract: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Anti-entropy protocol (scrub, peer row sync, online repair)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DigestRequest:
+    """Scrubber → replica proxy: report your per-table state digests.
+
+    The replica answers at its *own* current ``V_local`` (no pinning round
+    trip needed — the scrubber's expectation oracle can answer at any
+    version).  ``deep=True`` asks for a full-scan recompute, which is what
+    catches in-place corruption beneath the incremental bookkeeping.
+    """
+
+    reply_to: str
+    round_id: int
+    deep: bool = True
+
+
+@dataclass(frozen=True)
+class DigestReply:
+    """Replica proxy → scrubber: the digest vector, pinned to a version.
+
+    ``aligned=False`` flags that the replica holds out-of-order applies
+    above its watermark (partitioned pipeline in flight); its digests then
+    include images the watermark cannot vouch for and the scrubber skips
+    this reply rather than raise a false alarm.
+    """
+
+    replica: str
+    round_id: int
+    version: int
+    digests: Mapping[str, int]
+    aligned: bool = True
+
+
+@dataclass(frozen=True)
+class TableSyncRequest:
+    """Scrubber → healthy replica proxy: capture the latest row images of
+    ``tables`` so ``target`` can be repaired from them."""
+
+    reply_to: str
+    target: str
+    tables: tuple[str, ...]
+    round_id: int
+
+
+@dataclass(frozen=True)
+class TableSyncReply:
+    """Healthy replica proxy → scrubber: the captured row images.
+
+    ``rows`` maps table name to a tuple of ``(key, values, commit_version,
+    deleted)`` entries (the shape of ``VersionedTable.latest_states``),
+    captured atomically at the replica's ``version``.
+    """
+
+    replica: str
+    target: str
+    round_id: int
+    version: int
+    rows: Mapping[str, tuple]
+
+
+@dataclass(frozen=True)
+class RepairApply:
+    """Scrubber → quarantined replica proxy: adopt these row images.
+
+    The replica replaces each named table's state with the peer images
+    (captured at the peer's ``synced_version``) and rebuilds its digests;
+    re-admission still waits for a clean scrub verification afterwards.
+    """
+
+    reply_to: str
+    round_id: int
+    synced_version: int
+    rows: Mapping[str, tuple]
+
+
+@dataclass(frozen=True)
+class RepairAck:
+    """Repaired replica proxy → scrubber: the sync is installed.
+
+    ``rows_repaired`` counts keys whose visible state actually differed —
+    the magnitude of the divergence that was silently served until now.
+    """
+
+    replica: str
+    round_id: int
+    version: int
+    rows_repaired: int
 
 
 @dataclass(frozen=True)

@@ -37,14 +37,20 @@ from .messages import (
     CertifierSuspected,
     CertifyReply,
     CommitApplied,
+    DigestReply,
+    DigestRequest,
     GlobalCommitNotice,
     HeartbeatAck,
     HeartbeatPing,
     RecoveryReply,
     RecoveryRequest,
     RefreshWriteset,
+    RepairAck,
+    RepairApply,
     RoutedRequest,
     StandbyPromoted,
+    TableSyncReply,
+    TableSyncRequest,
     TxnResponse,
 )
 from .perfmodel import ReplicaPerformance
@@ -164,6 +170,18 @@ class ReplicaProxy:
         self.early_abort_count = 0
         self.abandoned_count = 0
         self.gap_repairs = 0
+        self.duplicate_refreshes_ignored = 0
+        self.duplicate_requests_ignored = 0
+        self._routed_seen: set[int] = set()
+        # Anti-entropy bookkeeping (see middleware/scrubber.py).
+        self.digest_replies = 0
+        self.table_syncs_served = 0
+        self.repairs_applied = 0
+        #: armed by FaultInjector.skip_refresh / double_apply_refresh — the
+        #: next refresh apply is installed wrongly ("skip" or "double")
+        self._corrupt_next_refresh: Optional[str] = None
+        #: (time, mode, version) per corrupted apply, for audits
+        self.corrupted_applies: list[tuple[float, str, int]] = []
 
         # Self-healing (all opt-in, see docs/PROTOCOL.md): a bound on the
         # certify/global waits, and — when a standby exists — a heartbeat
@@ -214,8 +232,18 @@ class ReplicaProxy:
             if self.crashed:
                 continue
             if isinstance(message, RoutedRequest):
+                rid = message.request.request_id
+                if rid in self._routed_seen:
+                    # The balancer mints a fresh request_id for every
+                    # (re)dispatch, so a repeat can only be the network
+                    # redelivering the same message — executing it again
+                    # would run the transaction twice and wedge the certify
+                    # waiter keyed by this id.
+                    self.duplicate_requests_ignored += 1
+                    continue
+                self._routed_seen.add(rid)
                 self.env.process(
-                    self._execute(message), name=f"{self.name}-txn-{message.request.request_id}"
+                    self._execute(message), name=f"{self.name}-txn-{rid}"
                 )
             elif isinstance(message, CertifyReply):
                 waiter = self._certify_waiters.pop(message.request_id, None)
@@ -236,6 +264,12 @@ class ReplicaProxy:
                     self.monitor.observe_ack(message)
             elif isinstance(message, StandbyPromoted):
                 self._handle_promotion(message)
+            elif isinstance(message, DigestRequest):
+                self._handle_digest_request(message)
+            elif isinstance(message, TableSyncRequest):
+                self._handle_table_sync(message)
+            elif isinstance(message, RepairApply):
+                self._handle_repair_apply(message)
             else:
                 raise TypeError(f"{self.name} got unexpected message {message!r}")
 
@@ -313,10 +347,85 @@ class ReplicaProxy:
         # sit in the successor's log), so the abort reason says so.
         self.fail_pending_certifications(f"certifier failover to {notice.certifier}")
 
+    # -- anti-entropy ----------------------------------------------------------
+    def _handle_digest_request(self, request: DigestRequest) -> None:
+        """Report the per-table digest vector at our current ``V_local``.
+
+        A deep request rescans every visible row (the only way to see
+        in-place corruption); a light one answers from the incremental
+        bookkeeping.  While out-of-order partitioned applies are in flight
+        the digests include images above the watermark, so the reply is
+        flagged unaligned and the scrubber skips it.
+        """
+        db = self.engine.database
+        digests = db.recompute_digests() if request.deep else db.digests()
+        self.digest_replies += 1
+        self.network.send(
+            self.name,
+            request.reply_to,
+            DigestReply(
+                replica=self.name,
+                round_id=request.round_id,
+                version=db.version,
+                digests=digests,
+                aligned=not db.has_applied_ahead,
+            ),
+        )
+
+    def _handle_table_sync(self, request: TableSyncRequest) -> None:
+        """Serve our latest row images of the requested tables so a diverged
+        peer can be repaired from them."""
+        db = self.engine.database
+        rows = {
+            table: tuple(db.table(table).latest_states())
+            for table in request.tables
+        }
+        self.table_syncs_served += 1
+        self.network.send(
+            self.name,
+            request.reply_to,
+            TableSyncReply(
+                replica=self.name,
+                target=request.target,
+                round_id=request.round_id,
+                version=db.version,
+                rows=rows,
+            ),
+        )
+
+    def _handle_repair_apply(self, message: RepairApply) -> None:
+        """Adopt a healthy peer's row images for the diverged tables.
+
+        We serve no reads while quarantined, so replacing table state
+        in place is safe; catch-up replay composes via the resync floor
+        (ops at or below ``synced_version`` become no-ops for the synced
+        tables), and rows we wrote beyond the peer's capture while the
+        sync was in flight are kept untouched by :meth:`resync_table` —
+        repair lands even under continuous load.  Re-admission still
+        waits on a clean scrub verification.
+        """
+        db = self.engine.database
+        repaired = 0
+        for table, entries in message.rows.items():
+            repaired += db.resync_table(table, entries, message.synced_version)
+        self.repairs_applied += 1
+        self._wake_applier()
+        self.network.send(
+            self.name,
+            message.reply_to,
+            RepairAck(
+                replica=self.name,
+                round_id=message.round_id,
+                version=db.version,
+                rows_repaired=repaired,
+            ),
+        )
+
     # -- refresh handling ------------------------------------------------------
     def _receive_refresh(self, message: RefreshWriteset) -> None:
         if self.engine.database.has_applied(message.commit_version):
-            return  # duplicate (possible after recovery replay)
+            self.duplicate_refreshes_ignored += 1
+            return  # duplicate (recovery replay or a network-level re-send)
         self._enqueue_refresh(
             message.commit_version, message.writeset, message.prev_versions
         )
@@ -354,6 +463,11 @@ class ReplicaProxy:
     def _enqueue_refresh(self, version: int, writeset, prevs=None) -> None:
         if version not in self._pending_refresh:
             heappush(self._pending_versions, version)
+        else:
+            # Already buffered: a duplicate delivery that raced ahead of the
+            # apply loop (the post-apply duplicates are caught by
+            # ``has_applied`` in ``_receive_refresh``).
+            self.duplicate_refreshes_ignored += 1
         self._pending_refresh[version] = writeset
         if prevs is not None:
             self._pending_prevs[version] = prevs
@@ -471,7 +585,7 @@ class ReplicaProxy:
             self._pending_refresh.pop(version, None)
             self._pending_prevs.pop(version, None)
             return
-        self.engine.apply_refresh(writeset, version)
+        self._install_refresh(writeset, version)
         self.refresh_applied_count += 1
         self._pending_refresh.pop(version, None)
         self._pending_prevs.pop(version, None)
@@ -489,6 +603,17 @@ class ReplicaProxy:
             return
         for p in self.partition_map.partitions_for(writeset.tables):
             self.partition_clocks[p].advance_to(version)
+
+    def _install_refresh(self, writeset, version: int) -> None:
+        """Install one refresh writeset, honouring an armed corruption fault
+        (``FaultInjector.skip_refresh`` / ``double_apply_refresh``)."""
+        mode = self._corrupt_next_refresh
+        if mode is not None:
+            self._corrupt_next_refresh = None
+            self.engine.database.apply_writeset_corrupted(writeset, version, mode)
+            self.corrupted_applies.append((self.env.now, mode, version))
+            return
+        self.engine.apply_refresh(writeset, version)
 
     def _drain_refresh_run(self, next_version: int) -> list:
         """Pop the maximal run of consecutive pending versions starting at
@@ -532,7 +657,7 @@ class ReplicaProxy:
                     ):
                         self._enqueue_refresh(later, later_ws)
                 return
-            self.engine.apply_refresh(writeset, version)
+            self._install_refresh(writeset, version)
             self.refresh_applied_count += 1
             # A duplicate of this version may have arrived while the apply
             # held the CPU; drop it so it cannot linger.

@@ -76,6 +76,7 @@ class CertifierStandby:
         certification_mode: str = "index",
         partition_map=None,
         departed_grace_ms: Optional[float] = None,
+        digest_tracker=None,
     ):
         self.env = env
         self.network = network
@@ -99,6 +100,10 @@ class CertifierStandby:
         self.partition_map = partition_map
         #: departed-replica horizon grace the successor certifier inherits
         self.departed_grace_ms = departed_grace_ms
+        #: anti-entropy oracle maintained from the tailed records (seeded
+        #: identically to the primary's), handed to the promoted successor so
+        #: scrubbing survives a certifier failover
+        self.digest_tracker = digest_tracker
         #: state-machine replica of the primary's decision log
         self.log = DecisionLog()
         #: per-shard log copies (partitioned primaries only), built lazily
@@ -186,6 +191,8 @@ class CertifierStandby:
         while self.log.last_version + 1 in self._pending_records:
             ready = self._pending_records.pop(self.log.last_version + 1)
             self.log.append(ready)
+            if self.digest_tracker is not None:
+                self.digest_tracker.apply(ready.writeset, ready.commit_version)
             self.records_applied += 1
             self.network.send(
                 self.name, self.primary_name, DecisionAck(ready.commit_version)
@@ -211,6 +218,12 @@ class CertifierStandby:
                 if log is None:
                     log = self.shard_logs[partition] = DecisionLog()
                 log.append(entry)
+                if self.digest_tracker is not None:
+                    # Each shard slice folds in at the same global version;
+                    # the tracker replaces that version's change point.
+                    self.digest_tracker.apply(
+                        entry.writeset, entry.global_version
+                    )
             self._last_global += 1
             self.records_applied += 1
             self.network.send(
@@ -251,6 +264,7 @@ class CertifierStandby:
             partition_map=self.partition_map,
             shard_logs=self.shard_logs or None,
             departed_grace_ms=self.departed_grace_ms,
+            digest_tracker=self.digest_tracker,
         )
         if self._primary_state is not None:
             successor.restore_state(self._primary_state)

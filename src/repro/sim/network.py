@@ -84,7 +84,19 @@ class Network:
     higher layer, as in the failure model the paper assumes.
     """
 
-    def __init__(self, env: Environment, rng: Rng, latency: Optional[LatencyModel] = None):
+    def __init__(
+        self,
+        env: Environment,
+        rng: Rng,
+        latency: Optional[LatencyModel] = None,
+        duplicate_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        fault_rng: Optional[Rng] = None,
+    ):
+        if not 0.0 <= duplicate_prob <= 1.0:
+            raise ValueError("duplicate_prob must be in [0, 1]")
+        if not 0.0 <= reorder_prob <= 1.0:
+            raise ValueError("reorder_prob must be in [0, 1]")
         self.env = env
         self.rng = rng
         self.latency = latency or LatencyModel()
@@ -96,6 +108,18 @@ class Network:
         #: "link-cut" (directed partition), "overload-shed" (admission
         #: control refused the request before it entered the system)
         self.dropped_by_reason: dict[str, int] = {}
+        #: seeded delivery faults (both default off, drawing zero random
+        #: numbers then): probability a message is delivered twice, and
+        #: probability it is held back so later sends overtake it
+        self.duplicate_prob = duplicate_prob
+        self.reorder_prob = reorder_prob
+        #: dedicated stream for the fault draws (falls back to the latency
+        #: rng) so enabling faults perturbs latency sampling minimally
+        self.fault_rng = fault_rng
+        self.injected_count = 0
+        #: injected delivery faults by kind ("duplicate", "reorder") —
+        #: mirrors ``dropped_by_reason`` so audits read one breakdown shape
+        self.injected_by_reason: dict[str, int] = {}
         self._taps: list[Callable[[str, str, Any], None]] = []
 
     # -- endpoints ---------------------------------------------------------
@@ -163,6 +187,11 @@ class Network:
         self.dropped_count += 1
         self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
 
+    def record_injection(self, reason: str) -> None:
+        """Account one injected delivery fault under ``reason``."""
+        self.injected_count += 1
+        self.injected_by_reason[reason] = self.injected_by_reason.get(reason, 0) + 1
+
     # -- transmission ---------------------------------------------------------
     def send(self, sender: str, recipient: str, message: Any) -> None:
         """Send ``message`` to ``recipient``; delivery after sampled latency.
@@ -183,10 +212,36 @@ class Network:
             self.record_drop("link-cut")
             return
         delay = self.latency.sample(self.rng)
-        mailbox = self._mailboxes[recipient]
+        if self.duplicate_prob > 0.0 or self.reorder_prob > 0.0:
+            delay = self._inject_delivery_faults(sender, recipient, message, delay)
+        self._schedule_delivery(sender, recipient, message, delay)
 
-        def _deliver(_event, mailbox=mailbox, message=message,
-                     sender=sender, recipient=recipient):
+    def _inject_delivery_faults(
+        self, sender: str, recipient: str, message: Any, delay: float
+    ) -> float:
+        """Seeded delivery faults: maybe schedule a duplicate copy, maybe
+        hold the original back so later sends overtake it.  Draws happen
+        only for enabled faults — with both knobs at 0 this method is never
+        reached and the delivery schedule is untouched."""
+        rng = self.fault_rng if self.fault_rng is not None else self.rng
+        if self.duplicate_prob > 0.0 and rng.random() < self.duplicate_prob:
+            self.record_injection("duplicate")
+            # The copy takes its own (longer) path: original delay plus a
+            # fresh latency sample, so both copies arrive.
+            self._schedule_delivery(
+                sender, recipient, message, delay + self.latency.sample(rng)
+            )
+        if self.reorder_prob > 0.0 and rng.random() < self.reorder_prob:
+            self.record_injection("reorder")
+            # Hold the message back several latencies: messages sent after
+            # it will (with high probability) be delivered before it.
+            delay += 3.0 * (self.latency.base + self.latency.jitter)
+        return delay
+
+    def _schedule_delivery(
+        self, sender: str, recipient: str, message: Any, delay: float
+    ) -> None:
+        def _deliver(_event, message=message, sender=sender, recipient=recipient):
             # Re-check at delivery time: the endpoint may have crashed, or
             # the link been cut, while the message was in flight.
             if recipient in self._partition.down:
@@ -195,7 +250,7 @@ class Network:
             if (sender, recipient) in self._partition.links:
                 self.record_drop("link-cut")
                 return
-            mailbox.deliver(message)
+            self._mailboxes[recipient].deliver(message)
 
         timer = self.env.timeout(delay)
         timer.callbacks.append(_deliver)

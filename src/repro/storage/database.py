@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Optional
 
+from .digest import row_content_hash
 from .errors import StorageError, UnknownTableError
 from .schema import TableSchema
 from .table import VersionedTable
-from .writeset import WriteSet
+from .writeset import OpKind, WriteSet
 
 __all__ = ["Database"]
 
@@ -22,7 +23,8 @@ __all__ = ["Database"]
 class Database:
     """Tables plus the committed-version counter of one replica."""
 
-    def __init__(self, name: str = "db", allow_gaps: bool = False):
+    def __init__(self, name: str = "db", allow_gaps: bool = False,
+                 maintain_digests: bool = True):
         self.name = name
         self._tables: dict[str, VersionedTable] = {}
         self._version = 0
@@ -34,6 +36,27 @@ class Database:
         self.allow_gaps = allow_gaps
         #: versions applied ahead of the watermark (only with ``allow_gaps``)
         self._applied_ahead: set[int] = set()
+        #: maintain the incremental anti-entropy digests on the apply path
+        #: (pure computation, no simulation events — the overhead bench
+        #: toggles it off to price the maintenance)
+        self.maintain_digests = maintain_digests
+        #: table -> incremental XOR digest over visible latest row images
+        self._digests: dict[str, int] = {}
+        #: (table, key) -> content hash currently folded into the digest,
+        #: so replacing a row never rehashes the old image
+        self._latest_hash: dict[tuple, int] = {}
+        #: table -> ops applied but not yet folded into the digest; the
+        #: apply hot path pays one list append, the fold runs lazily at the
+        #: next digest query (scrub rounds, not refreshes, pay it).  The ops
+        #: are already retained by ``_committed_writesets``, so the queue
+        #: adds references, not copies.
+        self._pending_digest_ops: dict[str, list] = {}
+        #: table -> version through which a peer row-sync repaired it; ops
+        #: at or below the floor are already reflected in the synced images
+        #: and are skipped on replay (see :meth:`resync_table`)
+        self._resync_floor: dict[str, int] = {}
+        #: ops skipped on the apply path because a resync already held them
+        self.resync_skipped_ops = 0
 
     # -- schema ------------------------------------------------------------
     def create_table(self, schema: TableSchema) -> VersionedTable:
@@ -76,6 +99,14 @@ class Database:
         prefix or ahead of the watermark)."""
         return version <= self._version or version in self._applied_ahead
 
+    @property
+    def has_applied_ahead(self) -> bool:
+        """True while versions above the contiguous watermark are installed
+        (out-of-order partitioned applies in flight).  Digest comparisons at
+        the watermark are skipped then — the digest already includes the
+        ahead images."""
+        return bool(self._applied_ahead)
+
     # -- commit application ---------------------------------------------------
     def apply_writeset(self, writeset: WriteSet, commit_version: int) -> None:
         """Install a certified writeset at ``commit_version``.
@@ -87,6 +118,23 @@ class Database:
         """
         if writeset.is_empty:
             raise StorageError("refusing to apply an empty writeset")
+        self._check_apply_order(commit_version)
+        for op in writeset:
+            if self._resync_floor.get(op.table, 0) >= commit_version:
+                # A peer row-sync already installed this table's state
+                # through a newer version; the op's effect is in the synced
+                # images and re-appending it would fork the chain.
+                self.resync_skipped_ops += 1
+                continue
+            table = self.table(op.table)
+            if self.maintain_digests:
+                self._digest_apply(table, op, commit_version)
+            else:
+                table.apply_op(op, commit_version)
+        self._advance_version(commit_version)
+        self._committed_writesets[commit_version] = writeset
+
+    def _check_apply_order(self, commit_version: int) -> None:
         if commit_version != self._version + 1:
             if (
                 not self.allow_gaps
@@ -97,8 +145,8 @@ class Database:
                     f"out-of-order apply: database at v{self._version}, "
                     f"writeset for v{commit_version}"
                 )
-        for op in writeset:
-            self.table(op.table).apply_op(op, commit_version)
+
+    def _advance_version(self, commit_version: int) -> None:
         if commit_version == self._version + 1:
             self._version = commit_version
             # Absorb any run applied ahead that is now contiguous.
@@ -107,7 +155,6 @@ class Database:
                 self._version += 1
         else:
             self._applied_ahead.add(commit_version)
-        self._committed_writesets[commit_version] = writeset
 
     def load_row(self, table: str, values: Mapping[str, Any]) -> None:
         """Bulk-load one row as part of the initial data set (version 0).
@@ -119,9 +166,13 @@ class Database:
         if self._version != 0:
             raise StorageError("load_row is only legal before the first commit")
         tbl = self.table(table)
-        from .writeset import OpKind, WriteOp  # local import avoids cycle
+        from .writeset import WriteOp  # local import avoids cycle
 
-        tbl.apply_op(WriteOp(table, tbl.schema.key_of(values), OpKind.INSERT, values), 0)
+        op = WriteOp(table, tbl.schema.key_of(values), OpKind.INSERT, values)
+        if self.maintain_digests:
+            self._digest_apply(tbl, op, 0)
+        else:
+            tbl.apply_op(op, 0)
 
     def writesets_since(self, version: int) -> list[tuple[int, WriteSet]]:
         """(commit_version, writeset) pairs committed after ``version``,
@@ -135,6 +186,162 @@ class Database:
     def latest_write_version(self, table: str, key: Any) -> int:
         """Newest commit version that wrote ``(table, key)``; 0 if none."""
         return self.table(table).latest_commit_version(key)
+
+    # -- anti-entropy digests ------------------------------------------------
+    def _digest_apply(self, table: VersionedTable, op, commit_version: int) -> None:
+        """Apply one op and queue its digest fold (see ``_fold_pending``)."""
+        table.apply_op(op, commit_version)
+        pending = self._pending_digest_ops.get(op.table)
+        if pending is None:
+            pending = self._pending_digest_ops[op.table] = []
+        pending.append(op)
+
+    def _fold_pending(self, table: Optional[str] = None) -> None:
+        """Fold queued ops into the incremental digests.
+
+        Deferred maintenance keeps the refresh-apply hot path at one list
+        append per op (``benchmarks/bench_scrub.py`` prices the ≤10%
+        budget); the fold itself is O(ops since the last digest query) and
+        runs on scrub rounds.  Replaying the per-table queue in apply order
+        yields exactly the digest eager maintenance would have — the
+        replaced image's hash comes from the per-slot cache (never
+        rehashed), and the new image's hash is usually cache-warmed by the
+        certifier's tracker (``WriteOp.content_hash``).
+        """
+        names = (table,) if table is not None else tuple(self._pending_digest_ops)
+        latest = self._latest_hash
+        for name in names:
+            pending = self._pending_digest_ops.get(name)
+            if not pending:
+                continue
+            digest = self._digests.get(name, 0)
+            for op in pending:
+                slot = (name, op.key)
+                old = latest.pop(slot, None)
+                if old is not None:
+                    digest ^= old
+                if op.kind is not OpKind.DELETE:
+                    new = op.content_hash()
+                    latest[slot] = new
+                    digest ^= new
+            pending.clear()
+            self._digests[name] = digest
+
+    def digest(self, table: str) -> int:
+        """The incremental digest of one table (0 for a never-written one)."""
+        self.table(table)  # raise UnknownTableError for typos
+        self._fold_pending(table)
+        return self._digests.get(table, 0)
+
+    def digests(self) -> dict[str, int]:
+        """The incremental per-table digest vector (every table, 0 when
+        untouched) — a *light* scrub answers with this."""
+        self._fold_pending()
+        return {name: self._digests.get(name, 0) for name in self._tables}
+
+    def recompute_digests(self, table: Optional[str] = None) -> dict[str, int]:
+        """Full-scan oracle: rehash every visible latest row image.
+
+        Equal to :meth:`digests` unless state rotted underneath the
+        incremental bookkeeping — a *deep* scrub answers with this, which is
+        what catches in-place corruption the apply path never saw.
+        """
+        names = (table,) if table is not None else self.table_names
+        out: dict[str, int] = {}
+        for name in names:
+            digest = 0
+            for key, values, _lcv, deleted in self.table(name).latest_states():
+                if not deleted:
+                    digest ^= row_content_hash(name, key, values)
+            out[name] = digest
+        return out
+
+    def resync_table(self, table: str, entries, synced_version: int) -> int:
+        """Online repair: adopt a healthy peer's latest row images for
+        ``table`` (the peer captured them at its version
+        ``synced_version``).
+
+        Rows this copy wrote *after* the peer's capture are kept untouched
+        (the capture cannot know about them — repair under continuous load),
+        and ops for this table at or below ``synced_version`` are
+        subsequently skipped on the apply path — their effect is already in
+        the adopted images — so the replica's own catch-up replay composes
+        cleanly with the sync.  The table's digest is rebuilt from the new
+        images.  Returns the number of keys whose visible state differed.
+        """
+        tbl = self.table(table)
+        changed = tbl.replace_rows(entries, keep_newer_than=synced_version)
+        self._resync_floor[table] = max(
+            self._resync_floor.get(table, 0), synced_version
+        )
+        if self.maintain_digests:
+            # The rebuild below hashes every visible image, so queued folds
+            # for this table are superseded; dropping them keeps the next
+            # fold from resurrecting pre-repair hashes in the slot cache.
+            self._pending_digest_ops.get(table, []).clear()
+            for slot in [s for s in self._latest_hash if s[0] == table]:
+                del self._latest_hash[slot]
+            digest = 0
+            for key, values, _lcv, deleted in tbl.latest_states():
+                if not deleted:
+                    h = row_content_hash(table, key, values)
+                    self._latest_hash[(table, key)] = h
+                    digest ^= h
+            self._digests[table] = digest
+        return changed
+
+    # -- fault injection (corruption model) ----------------------------------
+    def apply_writeset_corrupted(self, writeset: WriteSet, commit_version: int,
+                                 mode: str) -> None:
+        """Install ``commit_version`` *wrongly* — the silent-divergence
+        faults the anti-entropy subsystem exists to catch.
+
+        ``mode="skip"`` models a lost apply: the version bookkeeping
+        advances (the replica believes it applied the refresh) but no row is
+        touched.  ``mode="double"`` models a non-idempotent double
+        application: the refresh applies normally, then each written row's
+        numeric deltas are folded in a second time *in place*, beneath the
+        digest bookkeeping — only a content rescan can see it.
+        """
+        if mode not in ("skip", "double"):
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        if mode == "skip":
+            self._check_apply_order(commit_version)
+            self._advance_version(commit_version)
+            self._committed_writesets[commit_version] = writeset
+            return
+        self.apply_writeset(writeset, commit_version)
+        for op in writeset:
+            if op.kind is OpKind.DELETE:
+                continue
+            self.corrupt_row_in_place(op.table, op.key)
+
+    def corrupt_row_in_place(self, table: str, key) -> bool:
+        """Bit-rot injection: scramble the newest image of ``(table, key)``
+        in place, beneath the incremental digest.  Returns False when there
+        is no visible image to corrupt."""
+        chain = self.table(table)._chains.get(key)
+        latest = chain.latest if chain is not None else None
+        if latest is None or latest.deleted:
+            return False
+        schema = self.table(table).schema
+        values = dict(latest.values)
+        for column in sorted(values):
+            if column == schema.primary_key:
+                continue
+            current = values[column]
+            if isinstance(current, bool):
+                values[column] = not current
+            elif isinstance(current, (int, float)):
+                values[column] = current + current + 1
+            else:
+                values[column] = f"{current}☠"
+            # Swap in a corrupted copy rather than mutating the stored dict:
+            # a row-sync capture taken before the corruption must keep
+            # observing the clean image it captured.
+            object.__setattr__(latest, "values", values)
+            return True
+        return False
 
     # -- maintenance ---------------------------------------------------------
     def vacuum(self, horizon_version: Optional[int] = None) -> int:

@@ -59,6 +59,10 @@ class VersionChain:
         """Commit version of the newest entry, 0 when the chain is empty."""
         return self._commit_versions[-1] if self._commit_versions else 0
 
+    def versions(self):
+        """Iterate the committed versions, oldest first."""
+        return iter(self._versions)
+
     def append(self, version: RowVersion) -> None:
         """Append a committed version.
 

@@ -120,6 +120,73 @@ class VersionedTable:
         for column, index in self._indexes.items():
             index.setdefault(op.values[column], set()).add(op.key)
 
+    # -- anti-entropy --------------------------------------------------------
+    def latest_states(self):
+        """Yield ``(key, values, latest_commit_version, deleted)`` for every
+        key ever written — the newest committed image per chain, in key
+        order.  Digest recomputation and peer row sync both walk this."""
+        for key in sorted(self._chains, key=_sort_token):
+            latest = self._chains[key].latest
+            if latest is None:
+                continue
+            yield key, latest.values, latest.commit_version, latest.deleted
+
+    def replace_rows(self, entries, keep_newer_than: Optional[int] = None) -> int:
+        """Online repair: adopt a healthy peer's latest row images.
+
+        ``entries`` is an iterable of ``(key, values, commit_version,
+        deleted)`` as produced by :meth:`latest_states`.  With
+        ``keep_newer_than`` set, chains whose newest commit version exceeds
+        it are kept untouched — this copy already applied writes the peer's
+        capture cannot know about (repair under continuous load); every
+        other chain is replaced by the peer image.  A row present here but
+        absent at the peer (and not newer than the capture) is a phantom
+        this copy invented — its chain is dropped.  History below adopted
+        images is discarded (the repaired replica serves no reads while
+        quarantined, so no snapshot can still need it).  Returns the number
+        of keys whose visible state actually differed.
+        """
+        incoming: dict[Any, RowVersion] = {}
+        for key, values, commit_version, deleted in entries:
+            incoming[key] = RowVersion(commit_version, values, deleted=deleted)
+        kept: dict[Any, VersionChain] = {}
+        if keep_newer_than is not None:
+            kept = {
+                key: chain
+                for key, chain in self._chains.items()
+                if chain.latest_commit_version > keep_newer_than
+            }
+        changed = 0
+        for key, version in incoming.items():
+            if key in kept:
+                continue
+            current = self._chains.get(key)
+            latest = current.latest if current is not None else None
+            if (
+                latest is None
+                or latest.deleted != version.deleted
+                or latest.values != version.values
+            ):
+                changed += 1
+        for key in self._chains:
+            if key not in incoming and key not in kept:
+                changed += 1
+        chains: dict[Any, VersionChain] = dict(kept)
+        for key, version in incoming.items():
+            if key in kept:
+                continue
+            chain = chains[key] = VersionChain()
+            chain.append(version)
+        self._chains = chains
+        for column in self._indexes:
+            self._indexes[column] = {}
+        for key, chain in self._chains.items():
+            for version in chain.versions():
+                if not version.deleted:
+                    for column, index in self._indexes.items():
+                        index.setdefault(version.values[column], set()).add(key)
+        return changed
+
     # -- maintenance ---------------------------------------------------------
     def vacuum(self, horizon_version: int) -> int:
         """Trim version chains below the snapshot horizon; returns versions

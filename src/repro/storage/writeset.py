@@ -13,7 +13,7 @@ propagation model of the paper's middleware.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Optional
 
 __all__ = ["OpKind", "WriteOp", "WriteSet"]
@@ -35,6 +35,9 @@ class WriteOp:
     key: Any
     kind: OpKind
     values: Optional[Mapping[str, Any]] = None
+    _content_hash: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.kind is OpKind.DELETE:
@@ -43,6 +46,23 @@ class WriteOp:
             if self.values is None:
                 raise ValueError(f"{self.kind.value} op requires row values")
             object.__setattr__(self, "values", dict(self.values))
+
+    def content_hash(self) -> int:
+        """64-bit content hash of the after-image (``storage.digest``).
+
+        Cached on the op: a certified op is folded into digests once by the
+        certifier's tracker and once per replica apply, and the simulated
+        network shares message objects — so each image is hashed once
+        cluster-wide, which is what keeps digest maintenance within its
+        budget on the refresh-apply hot path.
+        """
+        h = self._content_hash
+        if h is None:
+            from .digest import row_content_hash  # local import avoids cycle
+
+            h = row_content_hash(self.table, self.key, self.values)
+            object.__setattr__(self, "_content_hash", h)
+        return h
 
 
 class WriteSet:

@@ -7,6 +7,7 @@ import signal
 import threading
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import ClusterConfig, ConsistencyLevel, ReplicatedDatabase
 from repro.metrics import MetricsCollector
@@ -18,6 +19,14 @@ from repro.workloads import MicroBenchmark
 #: deadlocks spins in the event loop forever; the alarm turns a hung CI
 #: workflow into a fast, attributable failure.
 TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "300"))
+
+# One pinned hypothesis profile for the whole suite: the per-example
+# deadline is disabled because whole-cluster examples legitimately take
+# hundreds of milliseconds (discrete-event runs), and a deadline flake
+# would fail CI on machine noise rather than on a real regression.  The
+# SIGALRM guard above still bounds every test's total wall clock.
+hypothesis_settings.register_profile("repro", deadline=None)
+hypothesis_settings.load_profile("repro")
 
 
 @pytest.hookimpl(hookwrapper=True)

@@ -179,6 +179,36 @@ class TestOverloadKnobsDefaultsOff:
         assert cluster.certifier.backpressure_rejects == 0
 
 
+class TestAntiEntropyKnobsDefaultsOff:
+    """The anti-entropy subsystem and the network delivery-fault knobs must
+    be trace-neutral when off: passing every new knob at its default value
+    reproduces the golden run exactly (digest maintenance is always on but
+    is pure computation — no events, no RNG draws)."""
+
+    def test_explicit_default_knobs_are_byte_identical(self):
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=10, rows_per_table=200),
+            ClusterConfig(
+                num_replicas=4,
+                level=ConsistencyLevel.SC_COARSE,
+                seed=11,
+                scrub_interval_ms=None,
+                scrub_deep=True,
+                scrub_reply_timeout_ms=30.0,
+                scrub_auto_repair=True,
+                net_duplicate_prob=0.0,
+                net_reorder_prob=0.0,
+            ),
+        )
+        collector = MetricsCollector(measure_start=0.0)
+        cluster.add_clients(6, collector)
+        cluster.run(2_500.0)
+        assert fingerprint(cluster, collector) == GOLDEN["sc-coarse"]
+        assert cluster.scrubber is None
+        assert cluster.network.injected_count == 0
+        assert cluster.load_balancer.quarantine_count == 0
+
+
 class TestBoundedStaleness:
     def test_bounded_zero_is_byte_identical_to_sc_coarse(self):
         cluster, collector = run_scenario("bounded:0")

@@ -139,7 +139,8 @@ class TestFileSink:
         log.close()
         stripped = []
         for line in path.read_text(encoding="utf-8").splitlines():
-            data = json.loads(line)
+            # Legacy sinks predate both the "req" key and the CRC32 frame.
+            data = json.loads(line.rsplit("\t", 1)[0])
             del data["req"]
             stripped.append(json.dumps(data))
         legacy = tmp_path / "legacy.log"
@@ -149,3 +150,103 @@ class TestFileSink:
         assert loaded.last_version == 2
         assert [loaded.entry(v).request_id for v in (1, 2)] == [0, 0]
         assert loaded.entry(1).writeset.op_for("t", 7).values == {"id": 7, "v": 42}
+
+
+class TestCRCFraming:
+    """Per-line CRC32 frames let recovery tell a torn final write (drop the
+    tail, the decision never became durable) from corruption in the body of
+    the log (fatal — the durable record itself is damaged)."""
+
+    def write_log(self, tmp_path, versions=5):
+        path = str(tmp_path / "decisions.log")
+        log = DecisionLog(path)
+        for version in range(1, versions + 1):
+            log.append(entry(version, key=version, value=version * 10))
+        log.close()
+        return path
+
+    def test_clean_load_verifies_every_line(self, tmp_path):
+        path = self.write_log(tmp_path)
+        loaded = DecisionLog.load(path)
+        assert loaded.last_version == 5
+        assert loaded.torn_tail_dropped == 0
+
+    def test_every_sink_line_is_framed(self, tmp_path):
+        path = self.write_log(tmp_path)
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                payload, sep, crc = line.rstrip("\n").rpartition("\t")
+                assert sep == "\t"
+                assert len(crc) == 8
+                import zlib
+                assert int(crc, 16) == zlib.crc32(payload.encode("utf-8"))
+
+    def test_torn_tail_is_truncated_and_counted(self, tmp_path):
+        """A crash mid-append leaves a partial final line with no trailing
+        newline; load drops it and reports one version less."""
+        path = self.write_log(tmp_path)
+        raw = open(path, encoding="utf-8").read()
+        last_start = raw.rfind("\n", 0, len(raw) - 1) + 1
+        open(path, "w", encoding="utf-8").write(raw[: last_start + 25])
+        loaded = DecisionLog.load(path)
+        assert loaded.last_version == 4
+        assert loaded.torn_tail_dropped == 1
+
+    def test_torn_tail_raises_when_truncation_disallowed(self, tmp_path):
+        from repro.middleware import LogCorruptionError
+
+        path = self.write_log(tmp_path)
+        raw = open(path, encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(raw[:-7])
+        with pytest.raises(LogCorruptionError) as exc:
+            DecisionLog.load(path, truncate_torn_tail=False)
+        assert exc.value.line_number == 5
+
+    def test_middle_corruption_raises_with_exact_line(self, tmp_path):
+        """A flipped byte anywhere before the tail cannot be a torn write:
+        load must refuse rather than silently skip a committed decision."""
+        from repro.middleware import LogCorruptionError
+
+        path = self.write_log(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[1] = lines[1].replace('"v": 2', '"v": 7', 1)
+        open(path, "w", encoding="utf-8").write("\n".join(lines) + "\n")
+        with pytest.raises(LogCorruptionError) as exc:
+            DecisionLog.load(path)
+        assert exc.value.line_number == 2
+        assert "CRC32 mismatch" in exc.value.why
+
+    def test_truncated_middle_line_raises(self, tmp_path):
+        from repro.middleware import LogCorruptionError
+
+        path = self.write_log(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]
+        open(path, "w", encoding="utf-8").write("\n".join(lines) + "\n")
+        with pytest.raises(LogCorruptionError) as exc:
+            DecisionLog.load(path)
+        assert exc.value.line_number == 3
+
+    def test_unframed_legacy_lines_still_load(self, tmp_path):
+        """Sinks written before the CRC frame have bare JSON lines; they
+        must keep loading (parse-checked only)."""
+        path = self.write_log(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        legacy = [line.rsplit("\t", 1)[0] for line in lines]
+        open(path, "w", encoding="utf-8").write("\n".join(legacy) + "\n")
+        loaded = DecisionLog.load(path)
+        assert loaded.last_version == 5
+        assert loaded.torn_tail_dropped == 0
+
+    def test_replay_after_torn_tail_matches_surviving_prefix(self, tmp_path):
+        path = self.write_log(tmp_path)
+        raw = open(path, encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(raw[:-7])
+        loaded = DecisionLog.load(path)
+        target = Database()
+        target.create_table(
+            TableSchema("t", [Column("id", int), Column("v", int)], "id")
+        )
+        assert loaded.replay_into(target) == loaded.last_version == 4
+        assert target.table("t").read(4, target.version) == {"id": 4, "v": 40}
+        assert target.table("t").read(5, target.version) is None

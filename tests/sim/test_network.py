@@ -191,3 +191,72 @@ class TestDropReasons:
         net.record_drop("overload-shed")
         env.run()
         assert sum(net.dropped_by_reason.values()) == net.dropped_count == 3
+
+
+class TestDeliveryFaults:
+    """Seeded duplicate/reorder injection (both knobs default off and then
+    draw zero random numbers — the golden-trace test proves neutrality)."""
+
+    def make_net(self, env, **kwargs):
+        rngs = RngRegistry(5)
+        return Network(
+            env, rngs.stream("net"), LatencyModel(base=1.0, jitter=0.0),
+            fault_rng=rngs.stream("net:faults"), **kwargs,
+        )
+
+    def test_probabilities_validated(self, env):
+        rng = RngRegistry(5).stream("net")
+        with pytest.raises(ValueError):
+            Network(env, rng, duplicate_prob=1.5)
+        with pytest.raises(ValueError):
+            Network(env, rng, reorder_prob=-0.1)
+
+    def test_duplicate_delivers_message_twice(self, env):
+        net = self.make_net(env, duplicate_prob=1.0)
+        mailbox = net.register("a")
+        net.send("src", "a", "hello")
+        env.run()
+        assert mailbox.delivered_count == 2
+        assert net.injected_by_reason == {"duplicate": 1}
+        assert net.sent_count == 1  # one logical send, two deliveries
+
+    def test_reorder_lets_later_send_overtake(self, env):
+        net = self.make_net(env, reorder_prob=1.0)
+        mailbox = net.register("a")
+
+        arrivals = []
+
+        def consume(env):
+            while True:
+                message = yield mailbox.receive()
+                arrivals.append((env.now, message))
+
+        env.process(consume(env))
+        net.reorder_prob = 1.0
+        net.send("src", "a", "first")
+        net.reorder_prob = 0.0
+        net.send("src", "a", "second")
+        env.run()
+        assert [m for _t, m in arrivals] == ["second", "first"]
+        assert net.injected_by_reason == {"reorder": 1}
+
+    def test_off_by_default_draws_nothing(self, env):
+        net = self.make_net(env)
+        mailbox = net.register("a")
+        net.send("src", "a", "hello")
+        env.run()
+        assert mailbox.delivered_count == 1
+        assert net.injected_count == 0
+        # The dedicated fault stream was never consumed: its next draw
+        # equals a fresh stream's first draw.
+        fresh = RngRegistry(5).stream("net:faults")
+        assert net.fault_rng.random() == fresh.random()
+
+    def test_duplicates_still_dropped_by_partitions(self, env):
+        net = self.make_net(env, duplicate_prob=1.0)
+        net.register("a")
+        net.partition_link("src", "a")
+        net.send("src", "a", "hello")
+        env.run()
+        assert net.dropped_by_reason == {"link-cut": 1}
+        assert net.injected_count == 0  # dropped before the fault draw
