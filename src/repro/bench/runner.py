@@ -10,6 +10,7 @@ deterministic in its seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional
 
 from ..core.cluster import ClusterConfig, ReplicatedDatabase
@@ -20,6 +21,7 @@ from ..histories.checkers import (
     is_strongly_consistent,
 )
 from ..metrics.collector import MetricsCollector, MetricsSummary
+from ..metrics.profiler import PROFILER
 from ..middleware.perfmodel import PerformanceParams
 from ..sim.network import LatencyModel
 from ..workloads.base import Workload
@@ -50,6 +52,9 @@ class ExperimentConfig:
     record_history: bool = False
     retry_aborts: bool = False
     label: str = ""
+    #: enable the wall-clock profiler for this run and attach its report
+    #: to the result (see :mod:`repro.metrics.profiler`)
+    profile: bool = False
 
     @property
     def total_ms(self) -> float:
@@ -68,6 +73,8 @@ class ExperimentResult:
     final_commit_version: int
     strongly_consistent: Optional[bool] = None
     session_consistent: Optional[bool] = None
+    #: rendered wall-clock profile, when the run had ``profile`` set
+    profile_report: Optional[str] = None
 
     @property
     def tps(self) -> float:
@@ -137,23 +144,45 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     When ``record_history`` is set, the run history is checked for strong
     and session consistency so experiments double as correctness evidence.
     """
-    workload = config.workload_factory()
-    cluster = ReplicatedDatabase(
-        workload,
-        ClusterConfig(
-            num_replicas=config.num_replicas,
-            level=config.level,
-            seed=config.seed,
-            params=config.params,
-            latency=config.latency,
-            record_history=config.record_history,
-        ),
-    )
-    collector = MetricsCollector(
-        measure_start=config.warmup_ms, measure_end=config.total_ms
-    )
-    cluster.add_clients(config.clients, collector, retry_aborts=config.retry_aborts)
-    cluster.run(config.total_ms)
+    started_profiler = False
+    if config.profile and not PROFILER.enabled:
+        PROFILER.reset()
+        PROFILER.enable()
+        started_profiler = True
+    wall_start = perf_counter()
+
+    with PROFILER.section("cluster.build"):
+        workload = config.workload_factory()
+        cluster = ReplicatedDatabase(
+            workload,
+            ClusterConfig(
+                num_replicas=config.num_replicas,
+                level=config.level,
+                seed=config.seed,
+                params=config.params,
+                latency=config.latency,
+                record_history=config.record_history,
+            ),
+        )
+        collector = MetricsCollector(
+            measure_start=config.warmup_ms, measure_end=config.total_ms
+        )
+        cluster.add_clients(config.clients, collector, retry_aborts=config.retry_aborts)
+    with PROFILER.section("run.warmup"):
+        cluster.run(config.warmup_ms)
+    with PROFILER.section("run.measure"):
+        cluster.run(config.total_ms)
+
+    profile_report = None
+    if config.profile:
+        PROFILER.count("kernel.events", cluster.env.events_processed)
+        PROFILER.count("kernel.immediate", cluster.env.immediate_scheduled)
+        profile_report = PROFILER.report(
+            events=cluster.env.events_processed,
+            wall_s=perf_counter() - wall_start,
+        )
+    if started_profiler:
+        PROFILER.disable()
 
     early_aborts = sum(p.early_abort_count for p in cluster.replicas.values())
     strongly = session = None
@@ -170,4 +199,5 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         final_commit_version=cluster.commit_version,
         strongly_consistent=strongly,
         session_consistent=session,
+        profile_report=profile_report,
     )

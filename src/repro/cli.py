@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from .bench import experiments
 from .core.policy import available_policies, resolve_policy
+from .metrics.profiler import PROFILER
 
 __all__ = ["main", "build_parser"]
 
@@ -45,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Strongly consistent replication for a bargain' "
             "(ICDE 2010): regenerate the paper's tables and figures."
         ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the wall-clock profiler and print its report at the end",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -174,25 +180,32 @@ def _run_audit(args) -> str:
                                       num_items=100),
     }
     policy = resolve_policy(args.level)
-    cluster = ReplicatedDatabase(
-        factories[args.workload](),
-        ClusterConfig(num_replicas=args.replicas, level=policy, seed=args.seed),
-    )
-    collector = MetricsCollector()
-    cluster.add_clients(args.clients, collector)
-    cluster.run(args.duration_ms)
+    with PROFILER.section("cluster.build"):
+        cluster = ReplicatedDatabase(
+            factories[args.workload](),
+            ClusterConfig(num_replicas=args.replicas, level=policy, seed=args.seed),
+        )
+        collector = MetricsCollector()
+        cluster.add_clients(args.clients, collector)
+    with PROFILER.section("run.measure"):
+        cluster.run(args.duration_ms)
+    PROFILER.count("kernel.events", cluster.env.events_processed)
+    PROFILER.count("kernel.immediate", cluster.env.immediate_scheduled)
     summary = collector.summary(duration_ms=args.duration_ms)
     history = cluster.history
-    staleness = staleness_report(history)
+    with PROFILER.section("checkers"):
+        staleness = staleness_report(history)
+        observational = is_strongly_consistent(history)
+        strict = is_strongly_consistent(history, observational=False)
+        session = is_session_consistent(history)
     lines = [
         f"workload={args.workload} level={policy.label} replicas={args.replicas} "
         f"clients={args.clients} virtual-duration={args.duration_ms:.0f}ms",
         f"throughput: {summary.tps:.1f} TPS, response {summary.mean_response_ms:.2f} ms, "
         f"aborts {summary.aborted}",
-        f"strong consistency (observational): {is_strongly_consistent(history)}",
-        f"strong consistency (strict):        "
-        f"{is_strongly_consistent(history, observational=False)}",
-        f"session consistency:                {is_session_consistent(history)}",
+        f"strong consistency (observational): {observational}",
+        f"strong consistency (strict):        {strict}",
+        f"session consistency:                {session}",
         f"snapshot staleness: mean {staleness['mean']:.2f}, "
         f"max {staleness['max']:.0f} versions",
     ]
@@ -376,6 +389,9 @@ def _run_levels() -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.profile:
+        PROFILER.reset()
+        PROFILER.enable()
     if args.command == "table1":
         print(experiments.table1())
     elif args.command in ("fig3", "fig4", "fig5", "fig6", "fig7"):
@@ -402,6 +418,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_run_scrub(args))
     elif args.command == "levels":
         print(_run_levels())
+    if args.profile:
+        PROFILER.disable()
+        print()
+        print(PROFILER.report())
     return 0
 
 

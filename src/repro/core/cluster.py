@@ -37,6 +37,7 @@ from ..middleware.standby import CertifierStandby
 from ..sim.kernel import Environment
 from ..sim.network import LatencyModel, Network
 from ..sim.rng import RngRegistry
+from ..storage import sql as _sql
 from ..storage.database import Database
 from ..storage.digest import DigestTracker
 from ..storage.engine import StorageEngine
@@ -550,6 +551,17 @@ class ReplicatedDatabase:
                 "deadline_shed": self.load_balancer.deadline_shed_count,
                 "degraded": self.load_balancer.degraded_count,
                 "valve_open": self.load_balancer.valve_open,
+            },
+            "kernel": {
+                "events_processed": self.env.events_processed,
+                "immediate_scheduled": self.env.immediate_scheduled,
+            },
+            "storage": {
+                "scan_fallbacks": sum(
+                    proxy.engine.database.scan_fallbacks()
+                    for proxy in self.replicas.values()
+                ),
+                "plan_cache": _sql.plan_cache().stats(),
             },
             "replicas": {
                 name: {

@@ -2,6 +2,7 @@
 
 from .ascii_chart import line_chart
 from .collector import MetricsCollector, MetricsSummary, TxnSample
+from .profiler import PROFILER, Profiler
 from .report import (
     format_breakdown,
     format_partition_stats,
@@ -13,6 +14,8 @@ from .stages import STAGE_NAMES, StageTimings
 
 __all__ = [
     "MetricsCollector",
+    "PROFILER",
+    "Profiler",
     "line_chart",
     "MetricsSummary",
     "STAGE_NAMES",

@@ -79,17 +79,6 @@ class StageAbort(Exception):
         self.early = early
 
 
-#: stage name -> StageTimings attribute
-_STAGE_ATTRS = {
-    "version": "version",
-    "queries": "queries",
-    "certify": "certify",
-    "sync": "sync",
-    "commit": "commit",
-    "global": "global_",
-}
-
-
 class TxnLifecycle:
     """Drives one routed transaction through the stage pipeline on one
     replica proxy."""
@@ -114,34 +103,61 @@ class TxnLifecycle:
 
     # -- driver --------------------------------------------------------------
     def run(self):
-        """The transaction process: stages in order, two unified exits."""
+        """The transaction process: stages in order, two unified exits.
+
+        Stage timing is inlined rather than routed through :meth:`_timed`:
+        every kernel resume traverses the whole ``yield from`` chain, so
+        one less delegation frame is paid back on every event of every
+        transaction.
+        """
         self.proxy.executed_count += 1
+        stages = self.stages
+        env = self.proxy.env
         try:
-            yield from self._timed("version", self._stage_version)
-            yield from self._timed("queries", self._stage_queries)
+            start = env._now
+            try:
+                yield from self._stage_version()
+            finally:
+                stages.version = env._now - start
+            start = env._now
+            try:
+                yield from self._stage_queries()
+            finally:
+                stages.queries = env._now - start
             if self.txn.is_read_only:
-                yield from self._timed("commit", self._stage_commit_read_only)
+                start = env._now
+                try:
+                    yield from self._stage_commit_read_only()
+                finally:
+                    stages.commit = env._now - start
             else:
                 self._final_doom_check()
-                yield from self._timed("certify", self._stage_certify)
-                yield from self._timed("sync", self._stage_sync)
-                yield from self._timed("commit", self._stage_commit)
+                start = env._now
+                try:
+                    yield from self._stage_certify()
+                finally:
+                    stages.certify = env._now - start
+                start = env._now
+                try:
+                    yield from self._stage_sync()
+                finally:
+                    stages.sync = env._now - start
+                start = env._now
+                try:
+                    yield from self._stage_commit()
+                finally:
+                    stages.commit = env._now - start
                 if self.proxy.policy.waits_for_global_commit:
-                    yield from self._timed("global", self._stage_global)
+                    start = env._now
+                    try:
+                        yield from self._stage_global()
+                    finally:
+                        stages.global_ = env._now - start
             self._respond(committed=True)
         except StageAbort as abort:
             self._exit_abort(abort)
         except ReplicaCrashed:
             self._exit_crashed()
-
-    def _timed(self, name: str, stage):
-        """Run one stage, deriving its StageTimings entry from the span the
-        stage actually occupied (abort/crash included)."""
-        start = self.proxy.env.now
-        try:
-            yield from stage()
-        finally:
-            setattr(self.stages, _STAGE_ATTRS[name], self.proxy.env.now - start)
 
     # -- stages ---------------------------------------------------------------
     def _stage_version(self):

@@ -11,14 +11,36 @@ propagation term dominates, and the paper's own bottlenecks are CPU-side
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from .kernel import Environment
+from .kernel import Environment, Event, _TRIGGERED
 from .resources import Store
 from .rng import Rng
 
 __all__ = ["LatencyModel", "Mailbox", "Network"]
+
+
+class _Delivery(Event):
+    """A pooled in-flight message: one scheduled event per send.
+
+    Replaces the per-message ``Timeout`` plus delivery closure: the event
+    carries (sender, recipient, message) in slots and dispatches through one
+    persistent single-element callback list bound to the owning network.
+    After delivery the event is reset and returned to the network's free
+    list, so steady-state message traffic allocates no kernel objects.
+    """
+
+    __slots__ = ("sender", "recipient", "message", "_cblist")
+
+    def __init__(self, network: "Network"):
+        super().__init__(network.env)
+        self.sender = ""
+        self.recipient = ""
+        self.message: Any = None
+        self._cblist = [network._deliver]
+        self.callbacks = self._cblist
 
 
 @dataclass(frozen=True)
@@ -121,6 +143,8 @@ class Network:
         #: mirrors ``dropped_by_reason`` so audits read one breakdown shape
         self.injected_by_reason: dict[str, int] = {}
         self._taps: list[Callable[[str, str, Any], None]] = []
+        #: recycled in-flight delivery events (see :class:`_Delivery`)
+        self._delivery_pool: list[_Delivery] = []
 
     # -- endpoints ---------------------------------------------------------
     def register(self, name: str) -> Mailbox:
@@ -241,16 +265,36 @@ class Network:
     def _schedule_delivery(
         self, sender: str, recipient: str, message: Any, delay: float
     ) -> None:
-        def _deliver(_event, message=message, sender=sender, recipient=recipient):
-            # Re-check at delivery time: the endpoint may have crashed, or
-            # the link been cut, while the message was in flight.
-            if recipient in self._partition.down:
-                self.record_drop("endpoint-down")
-                return
-            if (sender, recipient) in self._partition.links:
-                self.record_drop("link-cut")
-                return
-            self._mailboxes[recipient].deliver(message)
+        pool = self._delivery_pool
+        event = pool.pop() if pool else _Delivery(self)
+        event.sender = sender
+        event.recipient = recipient
+        event.message = message
+        event._state = _TRIGGERED
+        # Inlined Environment._schedule (latency is almost always > 0).
+        env = self.env
+        if delay == 0.0:
+            env._immediate.append((env._now, next(env._event_counter), event))
+            env.immediate_scheduled += 1
+        else:
+            heapq.heappush(
+                env._queue, (env._now + delay, next(env._event_counter), event)
+            )
 
-        timer = self.env.timeout(delay)
-        timer.callbacks.append(_deliver)
+    def _deliver(self, event: _Delivery) -> None:
+        """Delivery-time dispatch for an in-flight message event."""
+        sender, recipient, message = event.sender, event.recipient, event.message
+        # Reset and recycle before dispatching: the mailbox hand-off may
+        # synchronously trigger another send that can then reuse the event.
+        event.message = None
+        event.callbacks = event._cblist
+        self._delivery_pool.append(event)
+        # Re-check at delivery time: the endpoint may have crashed, or the
+        # link been cut, while the message was in flight.
+        if recipient in self._partition.down:
+            self.record_drop("endpoint-down")
+            return
+        if (sender, recipient) in self._partition.links:
+            self.record_drop("link-cut")
+            return
+        self._mailboxes[recipient].deliver(message)

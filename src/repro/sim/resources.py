@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque
 
-from .kernel import Environment, Event, SimulationError
+from .kernel import Environment, Event, SimulationError, Timeout, _TRIGGERED
 
 __all__ = ["Request", "Resource", "Store"]
 
@@ -32,7 +32,13 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # Flattened Event.__init__: one request per resource claim makes
+        # this one of the hottest allocation sites in the simulation.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = 0  # _PENDING
         self.resource = resource
 
 
@@ -51,9 +57,10 @@ class Resource:
         self._last_change = env.now
 
     def _account(self) -> None:
-        now = self.env.now
-        self._busy_slot_ms += len(self._users) * (now - self._last_change)
-        self._last_change = now
+        now = self.env._now
+        if now != self._last_change:
+            self._busy_slot_ms += len(self._users) * (now - self._last_change)
+            self._last_change = now
 
     @property
     def in_use(self) -> int:
@@ -88,7 +95,11 @@ class Resource:
         if len(self._users) < self.capacity:
             self._account()
             self._users.add(req)
-            req.succeed()
+            # Inlined req.succeed() for the uncontended grant (hot path).
+            req._state = _TRIGGERED
+            env = self.env
+            env._immediate.append((env._now, next(env._event_counter), req))
+            env.immediate_scheduled += 1
         else:
             self._waiting.append(req)
         return req
@@ -131,7 +142,7 @@ class Resource:
         req = self.request()
         try:
             yield req
-            yield self.env.timeout(duration)
+            yield Timeout(self.env, duration)
         finally:
             self.release(req)
 

@@ -29,6 +29,9 @@ class Rng:
     def __init__(self, seed: int, name: str):
         self.name = name
         self._random = random.Random(seed)
+        # (mean, cv) -> (mu, sigma): the log/sqrt transform is pure, so
+        # caching it changes nothing about the drawn sequence.
+        self._lognormal_params: dict[tuple[float, float], tuple[float, float]] = {}
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in ``[low, high)``."""
@@ -52,11 +55,15 @@ class Rng:
         right tail, which is what produces the slowest-replica penalty the
         eager approach pays.
         """
-        if mean <= 0:
-            raise ValueError(f"service mean must be positive, got {mean}")
-        sigma2 = math.log(1.0 + cv * cv)
-        mu = math.log(mean) - sigma2 / 2.0
-        return self._random.lognormvariate(mu, math.sqrt(sigma2))
+        params = self._lognormal_params.get((mean, cv))
+        if params is None:
+            if mean <= 0:
+                raise ValueError(f"service mean must be positive, got {mean}")
+            sigma2 = math.log(1.0 + cv * cv)
+            mu = math.log(mean) - sigma2 / 2.0
+            params = (mu, math.sqrt(sigma2))
+            self._lognormal_params[(mean, cv)] = params
+        return self._random.lognormvariate(*params)
 
     def choice(self, seq: Sequence[T]) -> T:
         """Uniform choice from a non-empty sequence."""

@@ -81,6 +81,12 @@ class Database:
     def table_names(self) -> tuple[str, ...]:
         return tuple(self._tables)
 
+    def scan_fallbacks(self) -> int:
+        """Total lookups that degraded to an O(n) scan because the queried
+        column has no secondary index, across all tables (see
+        :attr:`VersionedTable.scan_fallbacks`)."""
+        return sum(table.scan_fallbacks for table in self._tables.values())
+
     # -- versions ---------------------------------------------------------
     @property
     def version(self) -> int:

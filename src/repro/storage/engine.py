@@ -79,15 +79,17 @@ class StorageEngine:
 
     # -- reads --------------------------------------------------------------
     def read(self, txn: Transaction, table: str, key: Any) -> Optional[Mapping[str, Any]]:
-        """Row visible to ``txn`` (its own writes first), or None."""
+        """Row visible to ``txn`` (its own writes first), or None.
+
+        The buffered-read probe is inlined (one dict lookup): this is the
+        single hottest storage entry point.
+        """
         txn._require_active()
-        hit, values = txn.buffered_read(table, key)
-        if hit:
-            txn.note_read(table, key)
-            return values
-        values = self.database.table(table).read(key, txn.snapshot_version)
-        txn.note_read(table, key)
-        return values
+        op = txn._writes.get((table, key))
+        txn.read_keys.add((table, key))
+        if op is not None:
+            return None if op.kind is OpKind.DELETE else op.values
+        return self.database.table(table).read(key, txn.snapshot_version)
 
     def read_required(self, txn: Transaction, table: str, key: Any) -> Mapping[str, Any]:
         """Like :meth:`read` but raises :class:`UnknownRowError` on a miss."""
@@ -107,13 +109,25 @@ class StorageEngine:
         txn._require_active()
         tbl = self.database.table(table)
         pk = tbl.schema.primary_key
+        ops = txn.ops_for_table(table)
+        if not ops:
+            # Fast path: nothing to overlay, and the table scan already
+            # yields rows in key order — stream straight through without
+            # building the merge dict or re-sorting.
+            note_read = txn.note_read
+            result = []
+            for values in tbl.scan(txn.snapshot_version, predicate=None):
+                note_read(table, values[pk])
+                if predicate is None or predicate(values):
+                    result.append(values)
+                    if limit is not None and len(result) >= limit:
+                        break
+            return result
         rows: dict[Any, Mapping[str, Any]] = {}
         for values in tbl.scan(txn.snapshot_version, predicate=None):
             rows[values[pk]] = values
         # Overlay the transaction's buffered writes on this table.
-        for op in txn.writeset:
-            if op.table != table:
-                continue
+        for op in ops:
             if op.kind is OpKind.DELETE:
                 rows.pop(op.key, None)
             else:
@@ -133,10 +147,15 @@ class StorageEngine:
         where an index exists), merged with the txn's own writes."""
         txn._require_active()
         tbl = self.database.table(table)
-        keys = set(tbl.lookup(column, value, txn.snapshot_version))
-        for op in txn.writeset:
-            if op.table != table:
-                continue
+        matches = tbl.lookup(column, value, txn.snapshot_version)
+        ops = txn.ops_for_table(table)
+        if not ops:
+            # Fast path: no overlay; the table's result is already sorted.
+            for key in matches:
+                txn.note_read(table, key)
+            return matches
+        keys = set(matches)
+        for op in ops:
             if op.kind is OpKind.DELETE:
                 keys.discard(op.key)
             elif op.values.get(column) == value:

@@ -12,29 +12,38 @@ Chains are append-mostly: commits append, reads binary-search, and
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
 __all__ = ["RowVersion", "VersionChain"]
 
 
-@dataclass(frozen=True)
 class RowVersion:
     """One committed version of a row.
 
-    ``values`` is an immutable snapshot of the full row at that version;
-    ``deleted`` marks a tombstone.
+    ``values`` is a private snapshot of the full row at that version
+    (copied on construction, never mutated afterwards); ``deleted`` marks
+    a tombstone.  A plain slotted class rather than a frozen dataclass:
+    one of these is allocated per committed write per replica, and the
+    frozen-dataclass ``object.__setattr__`` init shows up in profiles.
     """
 
-    commit_version: int
-    values: Optional[Mapping[str, Any]]
-    deleted: bool = False
+    __slots__ = ("commit_version", "values", "deleted")
 
-    def __post_init__(self):
-        if self.deleted:
-            object.__setattr__(self, "values", None)
-        else:
-            object.__setattr__(self, "values", dict(self.values or {}))
+    def __init__(
+        self,
+        commit_version: int,
+        values: Optional[Mapping[str, Any]],
+        deleted: bool = False,
+    ):
+        self.commit_version = commit_version
+        self.values = None if deleted else dict(values or {})
+        self.deleted = deleted
+
+    def __repr__(self) -> str:
+        return (
+            f"RowVersion(commit_version={self.commit_version!r}, "
+            f"values={self.values!r}, deleted={self.deleted!r})"
+        )
 
 
 class VersionChain:

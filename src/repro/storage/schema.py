@@ -86,6 +86,17 @@ class TableSchema:
         names = [c.name for c in self.columns]
         if len(set(names)) != len(names):
             raise SchemaError(f"table {self.name!r} has duplicate column names")
+        # Derived lookups, cached once (before the validations below, which
+        # use column()): schema validation runs on every committed write,
+        # so these must not be rebuilt per call.
+        object.__setattr__(self, "_names", tuple(names))
+        object.__setattr__(self, "_name_set", frozenset(names))
+        object.__setattr__(self, "_by_name", {c.name: c for c in self.columns})
+        # Full-row fast path: exact-class match per column, falling back to
+        # Column.validate (same errors) for None/subclass/coercion cases.
+        object.__setattr__(
+            self, "_checks", tuple((c.name, c.type_, c.validate) for c in self.columns)
+        )
         if self.primary_key not in names:
             raise SchemaError(
                 f"table {self.name!r}: primary key {self.primary_key!r} "
@@ -104,28 +115,35 @@ class TableSchema:
 
     @property
     def column_names(self) -> tuple[str, ...]:
-        return tuple(c.name for c in self.columns)
+        return self._names
 
     def column(self, name: str) -> Column:
         """Look up a column by name."""
-        for col in self.columns:
-            if col.name == name:
-                return col
-        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        col = self._by_name.get(name)
+        if col is None:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return col
 
     def validate_row(self, values: Mapping[str, Any], partial: bool = False) -> None:
         """Validate a full row (or, with ``partial=True``, an update's
         changed columns only)."""
-        known = set(self.column_names)
+        known = self._name_set
         for key in values:
             if key not in known:
                 raise SchemaError(f"table {self.name!r} has no column {key!r}")
         if not partial:
-            missing = known - set(values)
-            if missing:
+            if len(values) < len(known):
+                missing = known - set(values)
                 raise SchemaError(
                     f"table {self.name!r}: row missing columns {sorted(missing)}"
                 )
+            # Every column is present (all keys known, counts match), so
+            # index directly and only fall back for non-exact classes.
+            for name, type_, validate in self._checks:
+                value = values[name]
+                if value.__class__ is not type_:
+                    validate(value)
+            return
         for col in self.columns:
             if col.name in values:
                 col.validate(values[col.name])

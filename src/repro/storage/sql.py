@@ -30,7 +30,9 @@ text.  This module provides exactly that:
 
 from __future__ import annotations
 
+import operator
 import re
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Union
 
@@ -47,10 +49,14 @@ __all__ = [
     "Insert",
     "Update",
     "Delete",
+    "CompiledPlan",
+    "PlanCache",
     "parse",
     "parse_script",
     "table_set",
     "execute",
+    "compile_statement",
+    "plan_cache",
 ]
 
 
@@ -456,8 +462,12 @@ def parse(text: str) -> Statement:
 
 
 def parse_script(statements: Iterable[str]) -> tuple[Statement, ...]:
-    """Parse a sequence of SQL statements (a prepared transaction body)."""
-    return tuple(parse(text) for text in statements)
+    """Parse a sequence of SQL statements (a prepared transaction body).
+
+    Parsing goes through the process-wide plan cache, so each distinct
+    statement text is parsed exactly once no matter how many workload
+    instances (one per simulated client) share the same template."""
+    return tuple(_PLAN_CACHE.get(text).statement for text in statements)
 
 
 def table_set(statements: Iterable[Union[str, Statement]]) -> frozenset[str]:
@@ -471,55 +481,355 @@ def table_set(statements: Iterable[Union[str, Statement]]) -> frozenset[str]:
 
 
 # ---------------------------------------------------------------------------
-# Execution against a transaction context
+# Compiled plans
 # ---------------------------------------------------------------------------
 
-def _pk_equality(where, schema, params) -> Optional[Any]:
-    """The primary-key value when the WHERE clause pins it, else None."""
-    for comparison in where:
-        if comparison.op == "=" and comparison.column == schema.primary_key:
-            return comparison.value.resolve(params)
-    return None
+def _compile_comparison(comparison: Comparison):
+    """Compile one comparison into a ``pred(row, params) -> bool`` closure.
+
+    Semantics match :meth:`Comparison.matches` exactly: ``=``/``!=`` use
+    plain equality (NULL included), ordered operators never match when
+    either side is NULL.  Literal operands are folded into the closure so
+    no per-row resolution happens.
+    """
+    column = comparison.column
+    op = comparison.op
+    value = comparison.value
+    if isinstance(value, Literal):
+        const = value.value
+        if op == "=":
+            return lambda row, params: row.get(column) == const
+        if op == "!=":
+            return lambda row, params: row.get(column) != const
+        if const is None:
+            return lambda row, params: False
+        if op == "<":
+            return lambda row, params: (a := row.get(column)) is not None and a < const
+        if op == "<=":
+            return lambda row, params: (a := row.get(column)) is not None and a <= const
+        if op == ">":
+            return lambda row, params: (a := row.get(column)) is not None and a > const
+        return lambda row, params: (a := row.get(column)) is not None and a >= const
+    # Param: inline the lookup (and its missing-parameter error) instead of
+    # going through the bound ``resolve`` method on every row.
+    name = value.name
+    if op == "=":
+        def eq(row, params):
+            try:
+                expected = params[name]
+            except KeyError:
+                raise SqlError(f"missing parameter :{name}") from None
+            return row.get(column) == expected
+
+        return eq
+    if op == "!=":
+        def ne(row, params):
+            try:
+                expected = params[name]
+            except KeyError:
+                raise SqlError(f"missing parameter :{name}") from None
+            return row.get(column) != expected
+
+        return ne
+    cmp = _ORDERED_OPS[op]
+
+    def ordered(row, params):
+        try:
+            expected = params[name]
+        except KeyError:
+            raise SqlError(f"missing parameter :{name}") from None
+        actual = row.get(column)
+        if actual is None or expected is None:
+            return False
+        return cmp(actual, expected)
+
+    return ordered
 
 
-def _indexed_equality(where, schema, params) -> Optional[tuple[str, Any]]:
-    """An (indexed column, value) pair usable for an index lookup."""
-    for comparison in where:
-        if comparison.op == "=" and comparison.column in schema.indexes:
-            return comparison.column, comparison.value.resolve(params)
-    return None
+_ORDERED_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
 
 
-def _project(row: Mapping[str, Any], columns) -> dict:
-    if columns is None:
-        return dict(row)
-    return {column: row.get(column) for column in columns}
+def _compile_where(where: tuple[Comparison, ...]):
+    """Compile a WHERE clause into one residual predicate, or None when
+    the clause is empty (so scans can skip the call entirely)."""
+    if not where:
+        return None
+    predicates = tuple(_compile_comparison(c) for c in where)
+    if len(predicates) == 1:
+        return predicates[0]
+    if len(predicates) == 2:
+        first, second = predicates
+        return lambda row, params: first(row, params) and second(row, params)
+
+    def residual(row, params):
+        for predicate in predicates:
+            if not predicate(row, params):
+                return False
+        return True
+
+    return residual
 
 
-def _matching_rows(ctx, statement, params) -> list[dict]:
-    """Rows matching a WHERE clause, via the cheapest access path."""
-    schema = ctx.schema(statement.table)
-    where = statement.where
+class CompiledPlan:
+    """A statement compiled for repeated execution.
 
-    def residual(row) -> bool:
-        return all(c.matches(row, params) for c in where)
+    Compilation hoists everything that does not depend on the bound
+    parameters out of the per-call path: the WHERE clause becomes a single
+    closure chain (:func:`_compile_where`), and access-path selection
+    (primary-key point read vs secondary-index lookup vs filtered scan) is
+    resolved once per schema and cached behind an identity check — the
+    plan cache is keyed by statement text alone, so the same plan can meet
+    different schemas for the same table name across databases.
+    """
 
-    key = _pk_equality(where, schema, params)
-    if key is not None:
-        row = ctx.read(statement.table, key)
-        return [dict(row)] if row is not None and residual(row) else []
-    indexed = _indexed_equality(where, schema, params)
-    if indexed is not None:
-        column, value = indexed
-        keys = ctx.lookup(statement.table, column, value)
-        rows = []
-        for k in keys:
-            row = ctx.read(statement.table, k)
-            if row is not None and residual(row):
-                rows.append(dict(row))
-        return rows
-    return [dict(r) for r in ctx.scan(statement.table, predicate=residual)]
+    __slots__ = (
+        "statement",
+        "text",
+        "table",
+        "_residual",
+        "_schema",
+        "_pk_value",
+        "_index_column",
+        "_index_value",
+    )
 
+    def __init__(self, statement: Statement, text: Optional[str] = None):
+        self.statement = statement
+        self.text = text
+        self.table = statement.table
+        self._residual = _compile_where(getattr(statement, "where", ()))
+        self._schema = None
+        self._pk_value: Optional[Value] = None
+        self._index_column: Optional[str] = None
+        self._index_value: Optional[Value] = None
+
+    def _bind(self, schema) -> None:
+        """Pick the access path for ``schema`` (identity-cached)."""
+        where = getattr(self.statement, "where", ())
+        self._pk_value = None
+        for comparison in where:
+            if comparison.op == "=" and comparison.column == schema.primary_key:
+                self._pk_value = comparison.value
+                break
+        self._index_column = None
+        self._index_value = None
+        for comparison in where:
+            if comparison.op == "=" and comparison.column in schema.indexes:
+                self._index_column = comparison.column
+                self._index_value = comparison.value
+                break
+        self._schema = schema
+
+    def _rows(self, ctx, params, copy: bool) -> list:
+        """Rows matching the WHERE clause via the cheapest access path.
+
+        With ``copy`` the returned rows are fresh dicts (safe to hand out
+        or mutate); otherwise they are the context's own row mappings —
+        callers must not retain or modify them.
+        """
+        table = self.table
+        schema = ctx.schema(table)
+        if schema is not self._schema:
+            self._bind(schema)
+        residual = self._residual
+        if self._pk_value is not None:
+            key = self._pk_value.resolve(params)
+            if key is not None:
+                row = ctx.read(table, key)
+                if row is None or (residual is not None and not residual(row, params)):
+                    return []
+                return [dict(row)] if copy else [row]
+        if self._index_column is not None:
+            value = self._index_value.resolve(params)
+            rows = []
+            for key in ctx.lookup(table, self._index_column, value):
+                row = ctx.read(table, key)
+                if row is not None and (residual is None or residual(row, params)):
+                    rows.append(dict(row) if copy else row)
+            return rows
+        predicate = None
+        if residual is not None:
+            def predicate(row):
+                return residual(row, params)
+        if copy:
+            return [dict(r) for r in ctx.scan(table, predicate=predicate)]
+        return list(ctx.scan(table, predicate=predicate))
+
+    def execute(self, ctx, params: Optional[Mapping[str, Any]] = None):
+        raise NotImplementedError
+
+
+class _SelectPlan(CompiledPlan):
+    __slots__ = ("_columns", "_limit")
+
+    def __init__(self, statement: Select, text: Optional[str] = None):
+        super().__init__(statement, text)
+        self._columns = statement.columns
+        self._limit = statement.limit
+
+    def execute(self, ctx, params: Optional[Mapping[str, Any]] = None):
+        params = params if params is not None else {}
+        # Read-only: project straight off the context's row mappings, no
+        # intermediate dict(row) copy per matching row.
+        rows = self._rows(ctx, params, copy=False)
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        columns = self._columns
+        if columns is None:
+            return [dict(row) for row in rows]
+        return [{column: row.get(column) for column in columns} for row in rows]
+
+
+class _InsertPlan(CompiledPlan):
+    __slots__ = ("_pairs",)
+
+    def __init__(self, statement: Insert, text: Optional[str] = None):
+        super().__init__(statement, text)
+        self._pairs = tuple(
+            (column, value.resolve)
+            for column, value in zip(statement.columns, statement.values)
+        )
+
+    def execute(self, ctx, params: Optional[Mapping[str, Any]] = None):
+        params = params if params is not None else {}
+        ctx.insert(self.table, {column: resolve(params) for column, resolve in self._pairs})
+        return 1
+
+
+class _UpdatePlan(CompiledPlan):
+    __slots__ = ("_assignments",)
+
+    def __init__(self, statement: Update, text: Optional[str] = None):
+        super().__init__(statement, text)
+        self._assignments = tuple(
+            (assignment.column, assignment.compute)
+            for assignment in statement.assignments
+        )
+
+    def execute(self, ctx, params: Optional[Mapping[str, Any]] = None):
+        params = params if params is not None else {}
+        rows = self._rows(ctx, params, copy=True)
+        primary_key = self._schema.primary_key
+        for row in rows:
+            changes = {
+                column: compute(row, params) for column, compute in self._assignments
+            }
+            ctx.update(self.table, row[primary_key], changes)
+        return len(rows)
+
+
+class _DeletePlan(CompiledPlan):
+    __slots__ = ()
+
+    def execute(self, ctx, params: Optional[Mapping[str, Any]] = None):
+        params = params if params is not None else {}
+        rows = self._rows(ctx, params, copy=True)
+        primary_key = self._schema.primary_key
+        for row in rows:
+            ctx.delete(self.table, row[primary_key])
+        return len(rows)
+
+
+def _compile(statement: Statement, text: Optional[str] = None) -> CompiledPlan:
+    if isinstance(statement, Select):
+        return _SelectPlan(statement, text)
+    if isinstance(statement, Insert):
+        return _InsertPlan(statement, text)
+    if isinstance(statement, Update):
+        return _UpdatePlan(statement, text)
+    if isinstance(statement, Delete):
+        return _DeletePlan(statement, text)
+    raise SqlError(f"unsupported statement type {type(statement).__name__}")
+
+
+class PlanCache:
+    """LRU cache of compiled plans keyed by statement text.
+
+    Statement texts in the benchmarks are prepared templates — a handful of
+    distinct strings executed millions of times — so the cache turns
+    per-call parsing and predicate interpretation into a dict hit.  Parsed
+    :class:`Statement` ASTs are accepted as keys too (they are frozen and
+    hashable), so pre-parsed callers share plans the same way.  ``capacity``
+    may be adjusted at runtime; eviction applies on the next insert.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise SqlError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._plans: "OrderedDict[Any, CompiledPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, statement: Union[str, Statement]) -> CompiledPlan:
+        """The compiled plan for ``statement``, compiling on first sight."""
+        plans = self._plans
+        try:
+            plan = plans.get(statement)
+        except TypeError:
+            # Unhashable AST (programmatically built Literal holding a
+            # mutable value): compile without caching.
+            return _compile(statement)
+        if plan is not None:
+            plans.move_to_end(statement)
+            self.hits += 1
+            return plan
+        self.misses += 1
+        if isinstance(statement, str):
+            plan = _compile(parse(statement), statement)
+        else:
+            plan = _compile(statement)
+        plans[statement] = plan
+        while len(plans) > self.capacity:
+            plans.popitem(last=False)
+            self.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        """Drop all cached plans and reset the counters."""
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict:
+        """Cache effectiveness counters (surfaced in cluster stats)."""
+        return {
+            "size": len(self._plans),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: process-wide plan cache: every replica in a simulated cluster shares it,
+#: so each distinct statement text is parsed and compiled exactly once
+_PLAN_CACHE = PlanCache()
+
+
+def plan_cache() -> PlanCache:
+    """The process-wide plan cache (shared by all clusters/replicas)."""
+    return _PLAN_CACHE
+
+
+def compile_statement(statement: Union[str, Statement]) -> CompiledPlan:
+    """The (cached) compiled plan for a statement text or parsed AST."""
+    return _PLAN_CACHE.get(statement)
+
+
+# ---------------------------------------------------------------------------
+# Execution against a transaction context
+# ---------------------------------------------------------------------------
 
 def execute(ctx, statement: Union[str, Statement], params: Optional[Mapping[str, Any]] = None):
     """Execute one statement against a transaction context.
@@ -527,40 +837,8 @@ def execute(ctx, statement: Union[str, Statement], params: Optional[Mapping[str,
     Returns a list of row dicts for SELECT and the affected-row count for
     INSERT/UPDATE/DELETE.  The context's usual statement costs and early
     certification apply, because execution goes through the context's own
-    read/lookup/scan/insert/update/delete methods.
+    read/lookup/scan/insert/update/delete methods.  Plans are compiled and
+    cached per statement text (see :class:`PlanCache`), so repeated calls
+    skip parsing, predicate interpretation and access-path selection.
     """
-    parsed = parse(statement) if isinstance(statement, str) else statement
-    params = dict(params or {})
-
-    if isinstance(parsed, Select):
-        rows = _matching_rows(ctx, parsed, params)
-        if parsed.limit is not None:
-            rows = rows[: parsed.limit]
-        return [_project(row, parsed.columns) for row in rows]
-
-    if isinstance(parsed, Insert):
-        values = {
-            column: value.resolve(params)
-            for column, value in zip(parsed.columns, parsed.values)
-        }
-        ctx.insert(parsed.table, values)
-        return 1
-
-    if isinstance(parsed, Update):
-        schema = ctx.schema(parsed.table)
-        rows = _matching_rows(ctx, parsed, params)
-        for row in rows:
-            changes = {
-                a.column: a.compute(row, params) for a in parsed.assignments
-            }
-            ctx.update(parsed.table, row[schema.primary_key], changes)
-        return len(rows)
-
-    if isinstance(parsed, Delete):
-        schema = ctx.schema(parsed.table)
-        rows = _matching_rows(ctx, parsed, params)
-        for row in rows:
-            ctx.delete(parsed.table, row[schema.primary_key])
-        return len(rows)
-
-    raise SqlError(f"unsupported statement type {type(parsed).__name__}")
+    return _PLAN_CACHE.get(statement).execute(ctx, params)

@@ -9,6 +9,8 @@ primary reads.
 
 from __future__ import annotations
 
+import logging
+from bisect import bisect_right
 from typing import Any, Callable, Iterator, Mapping, Optional
 
 from .errors import SchemaError
@@ -18,6 +20,8 @@ from .writeset import OpKind, WriteOp
 
 __all__ = ["VersionedTable"]
 
+_logger = logging.getLogger(__name__)
+
 
 class VersionedTable:
     """All committed state of one table, multiversioned."""
@@ -26,6 +30,39 @@ class VersionedTable:
         self.schema = schema
         self._chains: dict[Any, VersionChain] = {}
         self._indexes: dict[str, dict[Any, set]] = {col: {} for col in schema.indexes}
+        #: key-ordered snapshot of the key set, rebuilt lazily after inserts
+        self._sorted_cache: Optional[list] = None
+        #: exact type shared by every key so far (None until the first key);
+        #: with a homogeneous key set plain ``sorted()`` reproduces the
+        #: :func:`_sort_token` order without building a token per key
+        self._key_type: Optional[type] = None
+        self._mixed_keys = False
+        #: lookups on unindexed columns that degraded to a full scan
+        self.scan_fallbacks = 0
+        self._fallback_logged: set[str] = set()
+
+    # -- key ordering -------------------------------------------------------
+    def _note_key(self, key: Any) -> None:
+        """Record a (possibly) new key: invalidate the sorted snapshot and
+        track key-type homogeneity."""
+        self._sorted_cache = None
+        if not self._mixed_keys:
+            key_type = type(key)
+            if self._key_type is None:
+                self._key_type = key_type
+            elif self._key_type is not key_type:
+                self._mixed_keys = True
+
+    def _ordered_keys(self) -> list:
+        """All keys ever written, in :func:`_sort_token` order (cached)."""
+        cache = self._sorted_cache
+        if cache is None:
+            if self._mixed_keys:
+                cache = sorted(self._chains, key=_sort_token)
+            else:
+                cache = sorted(self._chains)
+            self._sorted_cache = cache
+        return cache
 
     # -- reads --------------------------------------------------------------
     def read(self, key: Any, snapshot_version: int) -> Optional[Mapping[str, Any]]:
@@ -33,8 +70,13 @@ class VersionedTable:
         chain = self._chains.get(key)
         if chain is None:
             return None
-        version = chain.visible_at(snapshot_version)
-        return None if version is None else version.values
+        # Inlined VersionChain.visible_at (hot read path).
+        commit_versions = chain._commit_versions
+        idx = bisect_right(commit_versions, snapshot_version)
+        if idx == 0:
+            return None
+        version = chain._versions[idx - 1]
+        return None if version.deleted else version.values
 
     def exists(self, key: Any, snapshot_version: int) -> bool:
         """True when ``key`` is visible at ``snapshot_version``."""
@@ -54,10 +96,12 @@ class VersionedTable:
     ) -> Iterator[Mapping[str, Any]]:
         """Yield visible rows (optionally filtered), in key order."""
         count = 0
-        for key in sorted(self._chains, key=_sort_token):
-            values = self.read(key, snapshot_version)
-            if values is None:
+        chains = self._chains
+        for key in self._ordered_keys():
+            version = chains[key].visible_at(snapshot_version)
+            if version is None:
                 continue
+            values = version.values
             if predicate is not None and not predicate(values):
                 continue
             yield values
@@ -69,18 +113,37 @@ class VersionedTable:
         """Keys of visible rows whose ``column`` equals ``value``.
 
         Uses the secondary index when one exists, otherwise falls back to a
-        scan.  Candidates from the index are re-checked against the snapshot
-        (the index covers all historical values).
+        scan (counted in :attr:`scan_fallbacks` and logged once per column,
+        so silently slow workloads are diagnosable).  Candidates from the
+        index are re-checked against the snapshot (the index covers all
+        historical values).
         """
-        if column in self._indexes:
+        index = self._indexes.get(column)
+        if index is not None:
+            candidates = index.get(value)
+            if not candidates:
+                return []
             keys = []
-            for key in self._indexes[column].get(value, ()):
-                row = self.read(key, snapshot_version)
-                if row is not None and row.get(column) == value:
+            chains = self._chains
+            for key in candidates:
+                chain = chains.get(key)
+                version = chain.visible_at(snapshot_version) if chain is not None else None
+                if version is not None and version.values.get(column) == value:
                     keys.append(key)
-            return sorted(keys, key=_sort_token)
+            if self._mixed_keys:
+                return sorted(keys, key=_sort_token)
+            return sorted(keys)
         if column not in self.schema.column_names:
             raise SchemaError(f"table {self.schema.name!r} has no column {column!r}")
+        self.scan_fallbacks += 1
+        if column not in self._fallback_logged:
+            self._fallback_logged.add(column)
+            _logger.warning(
+                "table %r: lookup on unindexed column %r fell back to an "
+                "O(n) scan; declare a secondary index if this path is hot",
+                self.schema.name,
+                column,
+            )
         return [
             row[self.schema.primary_key]
             for row in self.scan(snapshot_version, lambda r: r.get(column) == value)
@@ -107,6 +170,7 @@ class VersionedTable:
         chain = self._chains.get(op.key)
         if chain is None:
             chain = self._chains[op.key] = VersionChain()
+            self._note_key(op.key)
         if op.kind is OpKind.DELETE:
             chain.append(RowVersion(commit_version, None, deleted=True))
             return
@@ -125,7 +189,7 @@ class VersionedTable:
         """Yield ``(key, values, latest_commit_version, deleted)`` for every
         key ever written — the newest committed image per chain, in key
         order.  Digest recomputation and peer row sync both walk this."""
-        for key in sorted(self._chains, key=_sort_token):
+        for key in self._ordered_keys():
             latest = self._chains[key].latest
             if latest is None:
                 continue
@@ -178,6 +242,11 @@ class VersionedTable:
             chain = chains[key] = VersionChain()
             chain.append(version)
         self._chains = chains
+        self._sorted_cache = None
+        self._key_type = None
+        self._mixed_keys = False
+        for key in chains:
+            self._note_key(key)
         for column in self._indexes:
             self._indexes[column] = {}
         for key, chain in self._chains.items():

@@ -43,6 +43,8 @@ class Transaction:
         self.abort_reason: Optional[str] = None
         # (table, key) -> buffered WriteOp; insertion order preserved.
         self._writes: dict[tuple[str, Any], WriteOp] = {}
+        # Writeset materialised from _writes, invalidated on every write.
+        self._writeset_cache: Optional[WriteSet] = None
         # (table, key) pairs read, for history recording / analysis.
         self.read_keys: set[tuple[str, Any]] = set()
 
@@ -75,6 +77,7 @@ class Transaction:
         * DELETE then INSERT  -> UPDATE (the row existed before the txn)
         """
         self._require_active()
+        self._writeset_cache = None
         slot = (op.table, op.key)
         previous = self._writes.get(slot)
         if previous is None:
@@ -118,11 +121,27 @@ class Transaction:
         """Record a row read (for histories and analysis)."""
         self.read_keys.add((table, key))
 
+    def ops_for_table(self, table: str) -> list[WriteOp]:
+        """Buffered ops touching ``table``, in buffering order.
+
+        Lets read paths (scan/lookup overlay) skip materialising a full
+        :class:`WriteSet` — the overwhelmingly common case is a transaction
+        with no buffered writes on the scanned table."""
+        if not self._writes:
+            return []
+        return [op for op in self._writes.values() if op.table == table]
+
     # -- writeset extraction --------------------------------------------------
     @property
     def writeset(self) -> WriteSet:
-        """The transaction's current writeset (a fresh copy)."""
-        return WriteSet(self._writes.values())
+        """The transaction's current writeset.
+
+        The :class:`WriteSet` snapshots the buffered ops (ops themselves are
+        frozen), so the instance is cached until the next buffered write."""
+        ws = self._writeset_cache
+        if ws is None:
+            ws = self._writeset_cache = WriteSet(self._writes.values())
+        return ws
 
     def partial_writeset(self) -> WriteSet:
         """Alias for :attr:`writeset` taken mid-transaction — the *partial

@@ -110,14 +110,17 @@ def sql_template(name: str, statements: Sequence[str]) -> TransactionTemplate:
     """
     from ..storage import sql as _sql
 
-    parsed = _sql.parse_script(statements)
-    if not parsed:
+    # Compile through the process-wide plan cache: every client running the
+    # same template shares one parsed AST and one compiled plan per text.
+    plans = [_sql.compile_statement(text) for text in statements]
+    if not plans:
         raise ValueError(f"template {name!r} has no statements")
+    parsed = tuple(plan.statement for plan in plans)
     tables = _sql.table_set(parsed)
     is_update = any(statement.is_update for statement in parsed)
 
     def body(ctx, params):
-        return [_sql.execute(ctx, statement, params) for statement in parsed]
+        return [plan.execute(ctx, params) for plan in plans]
 
     body.__name__ = f"sql_{name}"
     return TransactionTemplate(

@@ -209,6 +209,32 @@ class TestAntiEntropyKnobsDefaultsOff:
         assert cluster.load_balancer.quarantine_count == 0
 
 
+class TestHotPathOverhaul:
+    """The wall-clock hot paths (zero-delay FIFO, pooled wakeup/delivery
+    events, compiled SQL plans, engine fast paths) must be trace-neutral:
+    a defaults run still reproduces the golden fingerprint exactly, while
+    the fast paths demonstrably carry the traffic."""
+
+    def test_defaults_run_is_byte_identical_and_fast_paths_exercised(self):
+        cluster, collector = run_scenario(ConsistencyLevel.SC_COARSE)
+        assert fingerprint(cluster, collector) == GOLDEN["sc-coarse"]
+        # The optimisations were actually on for that identical trace:
+        assert cluster.env.immediate_scheduled > 0
+        assert cluster.env.events_processed > 0
+        assert len(cluster.env._wakeup_pool) > 0
+        assert len(cluster.network._delivery_pool) > 0
+
+    def test_stats_expose_kernel_and_storage_counters(self):
+        cluster, _ = run_scenario(ConsistencyLevel.SC_COARSE)
+        stats = cluster.stats()
+        assert stats["kernel"]["immediate_scheduled"] > 0
+        assert stats["kernel"]["events_processed"] > 0
+        assert stats["storage"]["scan_fallbacks"] == 0  # indexed workload
+        assert set(stats["storage"]["plan_cache"]) == {
+            "size", "capacity", "hits", "misses", "evictions",
+        }
+
+
 class TestBoundedStaleness:
     def test_bounded_zero_is_byte_identical_to_sc_coarse(self):
         cluster, collector = run_scenario("bounded:0")

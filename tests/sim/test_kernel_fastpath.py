@@ -1,0 +1,167 @@
+"""Kernel fast paths: zero-delay FIFO, wakeup pooling, delivery pooling.
+
+The hot-path overhaul added a sorted FIFO for zero-delay events (merge-
+popped against the heap), a free list for kernel-internal wakeup events,
+and pooled network delivery events.  These tests pin the invariant that
+matters: the *observable firing order* is exactly the pure-heap
+``(time, counter)`` order, and pooled objects never leak state between
+reuses.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.sim import Environment, RngRegistry
+from repro.sim.kernel import _Wakeup
+from repro.sim.network import LatencyModel, Network
+
+
+class TestImmediateQueueOrdering:
+    @given(st.lists(st.sampled_from([0.0, 0.0, 0.0, 0.5, 1.0, 2.5]), max_size=20))
+    def test_firing_order_is_time_then_schedule_order(self, delays):
+        """Mixed zero/positive delays fire in (time, schedule-counter)
+        order — the exact order a single pure heap would produce."""
+        env = Environment()
+        fired: list[int] = []
+        for index, delay in enumerate(delays):
+            timeout = env.timeout(delay, value=index)
+            timeout.callbacks.append(lambda e: fired.append(e.value))
+        env.run()
+        expected = [
+            i for _, i in sorted((delay, i) for i, delay in enumerate(delays))
+        ]
+        assert fired == expected
+
+    def test_zero_delay_cascade_is_fifo(self):
+        env = Environment()
+        order: list[str] = []
+
+        def follower(env, name):
+            order.append(name)
+            yield env.timeout(0)
+            order.append(name + "'")
+
+        env.process(follower(env, "a"))
+        env.process(follower(env, "b"))
+        env.run()
+        assert order == ["a", "b", "a'", "b'"]
+
+    def test_counters_track_traffic(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(0)
+            yield env.timeout(1.0)
+
+        env.process(worker(env))
+        env.run()
+        assert env.events_processed > 0
+        assert env.immediate_scheduled > 0
+
+    def test_peek_merges_both_queues(self):
+        env = Environment()
+        env.timeout(5.0)
+        assert env.peek() == 5.0
+        env.event().succeed()  # zero-delay, scheduled at t=0
+        assert env.peek() == 0.0
+        env.run()
+        assert env.peek() == float("inf")
+
+
+class TestWakeupPool:
+    def test_wakeups_are_recycled(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+
+        env.process(worker(env))
+        env.run()
+        assert len(env._wakeup_pool) > 0
+
+    def test_reused_wakeup_carries_no_stale_state(self):
+        env = Environment()
+        results = []
+
+        def worker(env, value):
+            yield env.timeout(0)
+            return value
+
+        # Sequential batches so later processes reuse earlier wakeups.
+        first = env.process(worker(env, "one"))
+        env.run()
+        reused = env._wakeup_pool[0]
+        second = env.process(worker(env, "two"))
+        assert env._wakeup_pool == [] or reused not in env._wakeup_pool
+        env.run()
+        results = [first.value, second.value]
+        assert results == ["one", "two"]
+
+    def test_pool_only_holds_internal_wakeups(self):
+        env = Environment()
+        external = env.event()
+        external.succeed("payload")
+        env.run()
+        assert external.value == "payload"
+        assert all(type(e) is _Wakeup for e in env._wakeup_pool)
+
+
+class TestDeliveryPool:
+    def _network(self):
+        env = Environment()
+        rng = RngRegistry(seed=1).stream("net")
+        network = Network(env, rng, latency=LatencyModel(base=0.1, jitter=0.0))
+        return env, network
+
+    def test_messages_delivered_and_events_recycled(self):
+        env, network = self._network()
+        inbox = network.register("r1")
+        # Sequential sends: each delivery returns its event to the pool
+        # before the next send, so one pooled event serves all traffic.
+        for i in range(10):
+            network.send("client", "r1", {"seq": i})
+            env.run()
+        assert inbox.delivered_count == 10
+        assert len(network._delivery_pool) == 1
+
+    def test_reused_event_carries_fresh_message(self):
+        env, network = self._network()
+        inbox = network.register("r1")
+        seen = []
+
+        def receiver(env):
+            while True:
+                message = yield inbox.receive()
+                seen.append(message)
+
+        env.process(receiver(env))
+        network.send("client", "r1", "first")
+        env.run()
+        network.send("client", "r1", "second")
+        env.run()
+        assert seen == ["first", "second"]
+
+    def test_inflight_drop_still_recycles(self):
+        env, network = self._network()
+        network.register("r1")
+        network.send("client", "r1", "doomed")
+        network.take_down("r1")  # crash while the message is in flight
+        env.run()
+        assert network.dropped_by_reason.get("endpoint-down") == 1
+        assert len(network._delivery_pool) == 1
+
+    def test_duplicate_injection_uses_separate_events(self):
+        env = Environment()
+        registry = RngRegistry(seed=2)
+        network = Network(
+            env,
+            registry.stream("net"),
+            latency=LatencyModel(base=0.1, jitter=0.0),
+            duplicate_prob=1.0,
+            fault_rng=registry.stream("faults"),
+        )
+        inbox = network.register("r1")
+        network.send("client", "r1", "msg")
+        env.run()
+        assert inbox.delivered_count == 2  # original + duplicate

@@ -124,6 +124,20 @@ class TestSecondaryIndex:
         apply_insert(table, 2, "a", 20, 2)
         assert table.lookup("v", 20, 2) == [2]
 
+    def test_scan_fallbacks_counted_and_logged_once(self, table, caplog):
+        apply_insert(table, 1, "a", 10, 1)
+        assert table.scan_fallbacks == 0
+        with caplog.at_level("WARNING", logger="repro.storage.table"):
+            table.lookup("v", 10, 1)
+            table.lookup("v", 10, 1)
+        assert table.scan_fallbacks == 2
+        # The degradation is reported exactly once per column.
+        warnings = [r for r in caplog.records if "unindexed column" in r.message]
+        assert len(warnings) == 1
+        # Indexed lookups never touch the counter.
+        table.lookup("cat", "a", 1)
+        assert table.scan_fallbacks == 2
+
     def test_lookup_unknown_column_rejected(self, table):
         with pytest.raises(SchemaError):
             table.lookup("missing", 1, 1)
