@@ -8,8 +8,9 @@ Usage::
     python -m repro audit [--level sc-fine|bounded:3] [--replicas 4] [--clients 16]
     python -m repro availability [--full] [--seed N]
     python -m repro saturation [--full] [--seed N]
-    python -m repro nemesis [--seed N] [--duration-ms T] [--no-kill-certifier]
+    python -m repro nemesis [--seed N] [--duration-ms T] [--no-kill-certifier] [--rolling]
     python -m repro scrub [--seed N] [--corruptions K] [--interval-ms T] [--light]
+    python -m repro membership [--seed N] [--join-at-ms T] [--smoke]
     python -m repro levels
 
 ``--full`` switches from the quick windows to the paper-scale sweeps
@@ -110,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-kill-certifier", action="store_true",
         help="leave the certifier alone (replica crashes and partitions only)",
     )
+    nemesis.add_argument(
+        "--rolling", action="store_true",
+        help="rolling-restart mode: serially crash-restart every replica "
+             "(one held past the horizon purge, forcing a full re-bootstrap) "
+             "on an elastic cluster, with the same safety audit",
+    )
 
     scrub = sub.add_parser(
         "scrub",
@@ -127,6 +134,23 @@ def build_parser() -> argparse.ArgumentParser:
     scrub.add_argument(
         "--light", action="store_true",
         help="light scrubs (incremental digests only — misses bit rot)",
+    )
+
+    membership = sub.add_parser(
+        "membership",
+        help="replica lifecycle demo: join a brand-new replica to a loaded "
+             "cluster and watch it bootstrap to live",
+    )
+    membership.add_argument("--seed", type=int, default=5)
+    membership.add_argument("--duration-ms", type=float, default=2_500.0)
+    membership.add_argument("--replicas", type=int, default=3)
+    membership.add_argument("--clients", type=int, default=6)
+    membership.add_argument("--join-at-ms", type=float, default=800.0,
+                            help="virtual time at which the new replica joins")
+    membership.add_argument(
+        "--smoke", action="store_true",
+        help="exit non-zero unless the joiner completed the full "
+             "joining → catching-up → live lifecycle",
     )
 
     everything = sub.add_parser(
@@ -219,9 +243,17 @@ def _run_nemesis(args) -> str:
     from .sim.rng import RngRegistry
     from .workloads import MicroBenchmark
 
-    config = ClusterConfig.self_healing(
-        num_replicas=args.replicas, seed=args.seed, level="sc-fine"
-    )
+    rolling = getattr(args, "rolling", False)
+    if rolling:
+        # The purge victim must return through the full checkpoint
+        # bootstrap, so rolling mode runs on the elastic configuration.
+        config = ClusterConfig.elastic(
+            num_replicas=args.replicas, seed=args.seed, level="sc-fine"
+        )
+    else:
+        config = ClusterConfig.self_healing(
+            num_replicas=args.replicas, seed=args.seed, level="sc-fine"
+        )
     cluster = ReplicatedDatabase(
         MicroBenchmark(update_types=20, rows_per_table=100), config
     )
@@ -232,16 +264,25 @@ def _run_nemesis(args) -> str:
         RngRegistry(args.seed).stream("nemesis"),
         duration_ms=args.duration_ms,
         injector=injector,
-        kill_certifier=not args.no_kill_certifier,
+        kill_certifier=not args.no_kill_certifier and not rolling,
+        rolling_restart=rolling,
     )
-    cluster.run(args.duration_ms + 700.0)
+    if rolling:
+        # The rolling script runs to completion (every replica cycled back
+        # to live), not to a fixed deadline.
+        limit = cluster.env.now + args.duration_ms + 30_000.0
+        while not nemesis.finished and cluster.env.now < limit:
+            cluster.run(cluster.env.now + 500.0)
+    else:
+        cluster.run(args.duration_ms + 700.0)
     cluster.quiesce(max_wait_ms=60_000.0)
 
     certifier = cluster.certifier
     balancer = cluster.load_balancer
     lines = [
         f"nemesis seed={args.seed} duration={args.duration_ms:.0f}ms "
-        f"replicas={args.replicas} clients={args.clients}",
+        f"replicas={args.replicas} clients={args.clients}"
+        + (" mode=rolling-restart" if rolling else ""),
         "",
         "fault schedule:",
     ]
@@ -276,10 +317,37 @@ def _run_nemesis(args) -> str:
         f"acknowledged-but-lost commits: {len(lost)}",
         f"fenced-but-committed requests: {len(doubled)}",
         f"replicas converged: {converged}",
-        "",
-        "audit: " + ("PASS" if not violations and not lost and not doubled
-                     and converged else "FAIL"),
     ]
+    ok = not violations and not lost and not doubled and converged
+    if rolling:
+        from .metrics import format_bootstrap_stats
+
+        bootstrap = cluster.bootstrap
+        lines += ["", "lifecycle timeline:"]
+        lines += [f"  {t:8.1f}  {state:22s} {replica} {detail}"
+                  for t, state, replica, detail in bootstrap.events]
+        lines += ["", format_bootstrap_stats(bootstrap.stats())]
+        all_live = (
+            all(name in certifier.replica_names for name in cluster.replica_names)
+            and not cluster.load_balancer.joining_replicas
+            and not cluster.load_balancer.quarantined_replicas
+        )
+        purged = any(action == "rolling-purge" for _t, action, _d in nemesis.actions)
+        rebootstrapped = bootstrap.bootstraps_completed >= 1 if purged else True
+        digests = [
+            p.engine.database.recompute_digests()
+            for p in cluster.replicas.values()
+        ]
+        parity = all(d == digests[0] for d in digests)
+        lines += [
+            "",
+            f"rolling restart finished: {nemesis.finished}",
+            f"every replica back to live: {all_live}",
+            f"purged returnee re-bootstrapped: {rebootstrapped}",
+            f"final per-replica digest parity: {parity}",
+        ]
+        ok = ok and nemesis.finished and all_live and rebootstrapped and parity
+    lines += ["", "audit: " + ("PASS" if ok else "FAIL")]
     return "\n".join(lines)
 
 
@@ -370,6 +438,79 @@ def _run_scrub(args) -> str:
     return "\n".join(lines)
 
 
+def _run_membership(args) -> tuple[str, int]:
+    from .core.cluster import ClusterConfig, ReplicatedDatabase
+    from .histories.checkers import strong_consistency_violations
+    from .metrics import format_bootstrap_stats
+    from .workloads import MicroBenchmark
+
+    config = ClusterConfig.elastic(
+        num_replicas=args.replicas, seed=args.seed, level="sc-fine"
+    )
+    cluster = ReplicatedDatabase(
+        MicroBenchmark(update_types=20, rows_per_table=100), config
+    )
+    cluster.add_clients(args.clients, retry_aborts=True)
+    cluster.run(args.join_at_ms)
+    joiner = cluster.add_replica_online()
+    cluster.run(args.join_at_ms + args.duration_ms)
+    cluster.quiesce(max_wait_ms=60_000.0)
+
+    bootstrap = cluster.bootstrap
+    certifier = cluster.certifier
+    lines = [
+        f"membership seed={args.seed} replicas={args.replicas}+1 "
+        f"clients={args.clients} join-at={args.join_at_ms:.0f}ms "
+        f"duration={args.duration_ms:.0f}ms",
+        "",
+        f"joined {joiner} to a running cluster under load",
+        "",
+        "lifecycle timeline:",
+    ]
+    commit = certifier.commit_version
+    lines += [
+        f"  {t:8.1f}  {state:22s} {replica} {detail}"
+        for t, state, replica, detail in bootstrap.events
+    ]
+    proxy = cluster.replicas[joiner]
+    lines += [
+        "",
+        format_bootstrap_stats(bootstrap.stats()),
+        "",
+        f"joiner V_local={proxy.v_local}, V_commit={commit}, "
+        f"catch-up lag={commit - proxy.v_local} versions",
+        f"joiner served: executed={proxy.executed_count} "
+        f"committed={proxy.committed_count}",
+    ]
+
+    went_live = any(state == "live" and replica == joiner
+                    for _t, state, replica, _d in bootstrap.events)
+    in_rotation = (
+        joiner in certifier.replica_names
+        and joiner not in cluster.load_balancer.joining_replicas
+        and joiner not in cluster.load_balancer.quarantined_replicas
+    )
+    converged = proxy.v_local == commit
+    violations = strong_consistency_violations(cluster.load_balancer.history)
+    digests = [
+        p.engine.database.recompute_digests() for p in cluster.replicas.values()
+    ]
+    parity = all(d == digests[0] for d in digests)
+    checks = {
+        "lifecycle completed (joining → catching-up → live)": went_live
+        and bootstrap.bootstraps_completed >= 1,
+        "joiner in certifier membership and routing set": in_rotation,
+        "joiner converged to V_commit": converged,
+        "strong-consistency violations: none": not violations,
+        "final per-replica digest parity": parity,
+    }
+    lines += [""] + [f"{'ok ' if ok else 'FAIL'} {label}"
+                     for label, ok in checks.items()]
+    ok = all(checks.values())
+    lines += ["", "membership: " + ("PASS" if ok else "FAIL")]
+    return "\n".join(lines), 0 if ok or not args.smoke else 1
+
+
 def _run_levels() -> str:
     lines = ["Consistency configurations:"]
     for name in available_policies():
@@ -389,6 +530,7 @@ def _run_levels() -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    exit_code = 0
     if args.profile:
         PROFILER.reset()
         PROFILER.enable()
@@ -416,13 +558,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_run_nemesis(args))
     elif args.command == "scrub":
         print(_run_scrub(args))
+    elif args.command == "membership":
+        text, exit_code = _run_membership(args)
+        print(text)
     elif args.command == "levels":
         print(_run_levels())
     if args.profile:
         PROFILER.disable()
         print()
         print(PROFILER.report())
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,7 @@ from typing import Optional
 
 from ..histories.records import RunHistory
 from ..metrics.collector import MetricsCollector
+from ..middleware.bootstrap import BootstrapCoordinator, BootstrapSettings
 from ..middleware.certifier import Certifier
 from ..middleware.durability import DecisionLog
 from ..middleware.heartbeat import HeartbeatSettings
@@ -153,6 +154,17 @@ class ClusterConfig:
     #: seeded network delivery faults (0.0 = off, no random draws)
     net_duplicate_prob: float = 0.0
     net_reorder_prob: float = 0.0
+    # -- replica lifecycle (off by default; see docs/PROTOCOL.md) -----------
+    #: run the bootstrap coordinator: fresh/stale replicas are brought to
+    #: ``live`` by checkpoint transfer + log replay under full client load
+    #: (False = the subsystem stays unconstructed, as before)
+    bootstrap_enabled: bool = False
+    #: catching-up → live threshold, in versions behind ``V_commit``
+    bootstrap_live_lag: int = 4
+    #: poll period of the bootstrap state machine (ms)
+    bootstrap_retry_ms: float = 25.0
+    #: checkpoint transfer retry timeout (ms)
+    bootstrap_checkpoint_timeout_ms: float = 200.0
 
     def __post_init__(self):
         if self.num_replicas < 1:
@@ -197,6 +209,9 @@ class ClusterConfig:
         if self.scrub_interval_ms is not None:
             # Fail fast on invalid scrub settings.
             self.scrub_settings
+        if self.bootstrap_enabled:
+            # Fail fast on invalid bootstrap settings.
+            self.bootstrap_settings
         if not 0.0 <= self.net_duplicate_prob <= 1.0:
             raise ValueError("net_duplicate_prob must be in [0, 1]")
         if not 0.0 <= self.net_reorder_prob <= 1.0:
@@ -244,6 +259,38 @@ class ClusterConfig:
         )
         settings.update(overrides)
         return cls(**settings)
+
+    @classmethod
+    def elastic(cls, **overrides) -> "ClusterConfig":
+        """A configuration with elastic membership enabled on top of the
+        self-healing stack: heartbeats, deadlines, a warm standby, a
+        departed-replica grace period (so a long-gone replica stops pinning
+        the replication horizon) and the bootstrap coordinator that brings
+        fresh or purged replicas back to ``live`` by state transfer.  Any
+        field can still be overridden by keyword."""
+        settings = dict(
+            heartbeat_interval_ms=20.0,
+            suspicion_threshold=3,
+            request_deadline_ms=250.0,
+            certify_timeout_ms=150.0,
+            standby_certifier=True,
+            departed_grace_ms=400.0,
+            bootstrap_enabled=True,
+        )
+        settings.update(overrides)
+        return cls(**settings)
+
+    @property
+    def bootstrap_settings(self) -> Optional["BootstrapSettings"]:
+        """The resolved bootstrap settings (None when the lifecycle
+        subsystem is off)."""
+        if not self.bootstrap_enabled:
+            return None
+        return BootstrapSettings(
+            live_lag=self.bootstrap_live_lag,
+            retry_ms=self.bootstrap_retry_ms,
+            checkpoint_timeout_ms=self.bootstrap_checkpoint_timeout_ms,
+        )
 
     @property
     def scrub_settings(self) -> Optional["ScrubSettings"]:
@@ -435,6 +482,22 @@ class ReplicatedDatabase:
                 balancer=self.load_balancer,
                 settings=scrub_settings,
             )
+        self.bootstrap: Optional[BootstrapCoordinator] = None
+        if config.bootstrap_enabled:
+            self.bootstrap = BootstrapCoordinator(
+                env=self.env,
+                network=self.network,
+                balancer=self.load_balancer,
+                # A callable, not the certifier: a failover must re-point
+                # in-flight bootstraps at the promoted successor.
+                certifier_provider=lambda: self.certifier,
+                # The live dict itself, so replicas added online are visible.
+                replicas=self.replicas,
+                scrubber=self.scrubber,
+                settings=config.bootstrap_settings,
+            )
+            for proxy in self.replicas.values():
+                proxy.bootstrap_name = self.bootstrap.name
         self._session_counter = 0
         self.client_pool: Optional[ClientPool] = None
 
@@ -490,6 +553,58 @@ class ReplicatedDatabase:
         """Advance virtual time to ``until_ms``."""
         self.env.run(until=until_ms)
 
+    # -- elastic membership --------------------------------------------------
+    def add_replica_online(self, name: Optional[str] = None) -> str:
+        """Join a brand-new replica to a running cluster.
+
+        The replica starts **empty** (schemas only — no populate pass): the
+        bootstrap coordinator transfers a donor checkpoint, which carries the
+        full visible state including the initial data set, then drives
+        catch-up replay and the joining → catching-up → live lifecycle.  The
+        node serves no client traffic and never pins the replication horizon
+        until it goes live.  Returns the new replica's name.
+        """
+        if self.bootstrap is None:
+            raise RuntimeError(
+                "add_replica_online requires bootstrap_enabled=True "
+                "(e.g. ClusterConfig.elastic())"
+            )
+        if name is None:
+            name = f"replica-{len(self.replica_names)}"
+        if name in self.replicas:
+            raise ValueError(f"replica {name!r} already exists")
+        database = Database(name=f"{name}-db")
+        for schema in self.workload.schemas():
+            database.create_table(schema)
+        engine = StorageEngine(database, name=f"{name}-engine")
+        speed = draw_speed_factors(self.params, self.rngs.stream(f"speed:{name}"), 1)[0]
+        perf = ReplicaPerformance(self.params, self.rngs.stream(f"perf:{name}"), speed)
+        config = self.config
+        proxy = ReplicaProxy(
+            env=self.env,
+            network=self.network,
+            name=name,
+            engine=engine,
+            perf=perf,
+            level=self.policy,
+            templates=self.templates,
+            precheck_committed=config.precheck_committed,
+            early_certification=config.early_certification,
+            certify_reads=config.certify_reads,
+            vacuum_interval_ms=config.vacuum_interval_ms,
+            heartbeat=config.heartbeat_settings,
+            standby_name="certifier-standby" if config.standby_certifier else None,
+            certify_timeout_ms=config.certify_timeout_ms,
+            batch_refresh_apply=config.batch_refresh_apply,
+            refresh_batch_limit=config.refresh_batch_limit,
+            partition_map=self.partition_map,
+        )
+        proxy.bootstrap_name = self.bootstrap.name
+        self.replica_names.append(name)
+        self.replicas[name] = proxy
+        self.bootstrap.bootstrap(name)
+        return name
+
     # -- inspection ----------------------------------------------------------
     def replica(self, index_or_name) -> ReplicaProxy:
         """Look up a replica by index or name."""
@@ -538,6 +653,7 @@ class ReplicatedDatabase:
                 "injected_by_reason": dict(self.network.injected_by_reason),
             },
             "scrub": self.scrubber.stats() if self.scrubber is not None else None,
+            "bootstrap": self.bootstrap.stats() if self.bootstrap is not None else None,
             "balancer": {
                 "v_system": self.load_balancer.v_system,
                 "outstanding": self.load_balancer.outstanding_count,

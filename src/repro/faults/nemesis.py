@@ -51,6 +51,7 @@ class Nemesis:
         overload_request_count: int = 40,
         corruption: bool = False,
         max_corruptions: int = 3,
+        rolling_restart: bool = False,
     ):
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
@@ -74,6 +75,13 @@ class Nemesis:
         #: existing seeded schedules replay unchanged
         self.corruption = corruption
         self.max_corruptions = max_corruptions
+        #: run the deterministic-shape rolling-restart script instead of the
+        #: random schedule: serially crash-restart every replica (and hold
+        #: one past the departed-grace purge + an explicit log truncation so
+        #: it must return through a full bootstrap), awaiting each node's
+        #: return to ``live`` before moving on.  Off by default so existing
+        #: seeded schedules replay unchanged.
+        self.rolling_restart = rolling_restart
         #: (virtual time, action, detail) — the reproducible fault schedule
         self.actions: list[tuple[float, str, str]] = []
         #: links currently cut by this nemesis: (sender, recipient, symmetric)
@@ -93,6 +101,11 @@ class Nemesis:
         return 2 * up_after > total
 
     def _run(self):
+        if self.rolling_restart:
+            yield from self._run_rolling_restart()
+            self._heal_everything()
+            self.finished = True
+            return
         env = self.cluster.env
         deadline = self._start + self.duration_ms
         while True:
@@ -102,6 +115,72 @@ class Nemesis:
             self._inject_one()
         self._heal_everything()
         self.finished = True
+
+    def _run_rolling_restart(self):
+        """Serially crash-restart every replica under live load.
+
+        One rng-chosen victim (when the cluster purges departed horizon
+        pins and runs the bootstrap coordinator) is held down past the
+        suspicion + grace window and the decision log is explicitly
+        truncated past it — replay recovery becomes impossible and the
+        replica must return through the full checkpoint bootstrap.  Every
+        other victim restarts within its grace window and recovers by
+        replay.  Each node must be back to ``live`` (certifier membership +
+        balancer routing set, not joining, not quarantined) before the next
+        is taken down, so a minority-crash envelope holds trivially.
+        """
+        env = self.cluster.env
+        config = self.cluster.config
+        names = list(self.cluster.replica_names)
+        purge_target = None
+        if config.departed_grace_ms is not None and self.cluster.bootstrap is not None:
+            purge_target = names[self.rng.randint(0, len(names) - 1)]
+        for name in names:
+            yield env.timeout(self.rng.uniform(*self.fault_duration_ms))
+            if not self._majority_safe_to_crash():
+                self._log("rolling-skip", f"{name} (majority unsafe)")
+                continue
+            self.injector.crash_replica(name)
+            self._log("rolling-crash", name)
+            if name == purge_target:
+                # Hold past detection + departed grace so the certifier
+                # drops this replica's horizon pin, then truncate: the log
+                # suffix the returnee would need is gone.
+                interval = config.heartbeat_interval_ms or 20.0
+                hold = (
+                    (config.suspicion_threshold + 1) * interval
+                    + config.departed_grace_ms
+                    + 3 * interval
+                )
+                yield env.timeout(hold)
+                dropped = self.cluster.certifier.truncate_log()
+                self._log(
+                    "rolling-purge",
+                    f"{name} held {hold:.0f}ms, truncated {dropped} entries",
+                )
+            else:
+                yield env.timeout(self.rng.uniform(*self.fault_duration_ms))
+            self.injector.recover_replica(name)
+            self._log("rolling-recover", name)
+            yield from self._await_live(name)
+
+    def _await_live(self, name: str, timeout_ms: float = 10_000.0):
+        """Poll until ``name`` is fully back in rotation (or time out)."""
+        env = self.cluster.env
+        balancer = self.cluster.load_balancer
+        deadline = env.now + timeout_ms
+        while env.now < deadline:
+            certifier = self.cluster.certifier
+            if (
+                name in certifier.replica_names
+                and name in balancer.up_replicas
+                and name not in balancer.joining_replicas
+                and name not in balancer.quarantined_replicas
+            ):
+                self._log("rolling-live", name)
+                return
+            yield env.timeout(10.0)
+        self._log("rolling-live-timeout", name)
 
     def _inject_one(self) -> None:
         choices = []

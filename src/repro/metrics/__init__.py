@@ -4,6 +4,7 @@ from .ascii_chart import line_chart
 from .collector import MetricsCollector, MetricsSummary, TxnSample
 from .profiler import PROFILER, Profiler
 from .report import (
+    format_bootstrap_stats,
     format_breakdown,
     format_partition_stats,
     format_scrub_stats,
@@ -21,6 +22,7 @@ __all__ = [
     "STAGE_NAMES",
     "StageTimings",
     "TxnSample",
+    "format_bootstrap_stats",
     "format_breakdown",
     "format_partition_stats",
     "format_scrub_stats",

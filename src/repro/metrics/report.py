@@ -15,6 +15,7 @@ __all__ = [
     "format_table",
     "format_series",
     "format_breakdown",
+    "format_bootstrap_stats",
     "format_partition_stats",
     "format_scrub_stats",
 ]
@@ -169,4 +170,38 @@ def format_scrub_stats(stats: Mapping, title: str = "") -> str:
     quarantined = scrub.get("currently_quarantined", [])
     if quarantined:
         lines.append("still quarantined: " + ", ".join(quarantined))
+    return "\n".join(lines)
+
+
+def format_bootstrap_stats(stats: Mapping, title: str = "") -> str:
+    """Render the replica-lifecycle view of a cluster stats dict.
+
+    ``stats`` is either the full :meth:`~repro.core.cluster.ReplicatedDatabase.stats`
+    snapshot (the ``"bootstrap"`` key is used) or that key's value directly
+    (:meth:`~repro.middleware.bootstrap.BootstrapCoordinator.stats`).
+    """
+    boot = stats.get("bootstrap", stats) if "bootstrap" in stats else stats
+    lines = []
+    if title:
+        lines.append(title)
+    if boot is None:
+        lines.append("replica lifecycle disabled (bootstrap_enabled=False)")
+        return "\n".join(lines)
+    lines.append(
+        "bootstraps: started={} completed={}  rebootstraps={}".format(
+            boot.get("bootstraps_started", 0),
+            boot.get("bootstraps_completed", 0),
+            boot.get("rebootstraps_triggered", 0),
+        )
+    )
+    lines.append(
+        "checkpoints: requested={} forwarded={}  catch-up-rounds={}".format(
+            boot.get("checkpoints_requested", 0),
+            boot.get("checkpoints_forwarded", 0),
+            boot.get("catch_up_rounds", 0),
+        )
+    )
+    active = boot.get("active", [])
+    if active:
+        lines.append("still bootstrapping: " + ", ".join(active))
     return "\n".join(lines)

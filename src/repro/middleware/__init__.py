@@ -5,6 +5,7 @@ balancer → replica proxies (each fronting a snapshot-isolation storage
 engine) → certifier.
 """
 
+from .bootstrap import BootstrapCoordinator, BootstrapSettings
 from .certifier import Certifier
 from .certindex import CertificationIndex
 from .clock import VersionClock
@@ -13,7 +14,11 @@ from .durability import DecisionLog, LogCorruptionError, LogEntry
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
 from .loadbalancer import LoadBalancer
 from .messages import (
+    BootstrapRequired,
+    CatchUpRequest,
     CertifierSuspected,
+    CheckpointInstall,
+    CheckpointInstalled,
     CertifyReply,
     CertifyRequest,
     ClientRequest,
@@ -40,6 +45,10 @@ from .shards import CertifierShard
 from .standby import CertifierStandby
 
 __all__ = [
+    "BootstrapCoordinator",
+    "BootstrapRequired",
+    "BootstrapSettings",
+    "CatchUpRequest",
     "CertificationIndex",
     "Certifier",
     "CertifierPerformance",
@@ -48,6 +57,8 @@ __all__ = [
     "CertifierSuspected",
     "CertifyReply",
     "CertifyRequest",
+    "CheckpointInstall",
+    "CheckpointInstalled",
     "ClientRequest",
     "ClientResponse",
     "CommitApplied",

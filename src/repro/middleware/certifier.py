@@ -51,6 +51,7 @@ from .certindex import CertificationIndex
 from .durability import DecisionLog, LogEntry
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
 from .messages import (
+    CatchUpRequest,
     CertifyReply,
     CertifyRequest,
     CommitApplied,
@@ -211,6 +212,9 @@ class Certifier:
         #: recovery requests refused because the log was truncated past the
         #: replica's durable version (it must not be re-admitted)
         self.stale_recovery_refusals = 0
+        #: catch-up replays served to bootstrapping replicas (replays
+        #: *without* re-admission — see middleware/bootstrap.py)
+        self.catch_up_replays = 0
         #: certifications refused by the inbound-queue bound
         self.backpressure_rejects = 0
         #: already-decided requests redelivered by the network and answered
@@ -289,6 +293,19 @@ class Certifier:
             return self.commit_version
         return min(versions)
 
+    def first_replayable_version(self) -> int:
+        """The oldest version a recovery or catch-up replay can still start
+        from: replays after ``after_version >= first_replayable - 1`` are
+        servable, anything older needs a checkpoint (state transfer).
+        1 while nothing has been truncated."""
+        if self.partitioned:
+            floor = max(
+                (s.truncated_global for s in self.shards.values()), default=0
+            )
+        else:
+            floor = self.log.truncation_version
+        return floor + 1
+
     def truncate_log(self) -> int:
         """Drop log entries below the replication horizon.
 
@@ -337,6 +354,9 @@ class Certifier:
             "cross_shard_stalls": self.cross_shard_stalls,
             "departed_purged": self.departed_purged,
             "stale_recovery_refusals": self.stale_recovery_refusals,
+            "catch_up_replays": self.catch_up_replays,
+            "first_replayable": self.first_replayable_version(),
+            "durability": self._durability_stats(),
             "shards": {
                 p: {
                     "certified": shard.certified_count,
@@ -347,6 +367,20 @@ class Certifier:
                 }
                 for p, shard in self.shards.items()
             },
+        }
+
+    def _durability_stats(self) -> dict:
+        """Decision-log durability counters, aggregated over the shard logs
+        in partitioned mode (see ``DecisionLog.load``)."""
+        logs = (
+            [shard.log for shard in self.shards.values()]
+            if self.partitioned
+            else [self.log]
+        )
+        return {
+            "torn_tail_dropped": sum(log.torn_tail_dropped for log in logs),
+            "framed_lines_loaded": sum(log.framed_lines_loaded for log in logs),
+            "legacy_lines_loaded": sum(log.legacy_lines_loaded for log in logs),
         }
 
     def decision_for(self, request_id: int) -> Optional[int]:
@@ -435,6 +469,8 @@ class Certifier:
                 self._handle_commit_applied(message)
             elif isinstance(message, RecoveryRequest):
                 self._handle_recovery(message)
+            elif isinstance(message, CatchUpRequest):
+                self._handle_catch_up(message)
             elif isinstance(message, FateQuery):
                 self._handle_fate(message)
             elif isinstance(message, HeartbeatPing):
@@ -933,9 +969,64 @@ class Certifier:
                 )
                 prevs = None
         except KeyError:
+            # Not a dead end any more: the refusal carries the machine-
+            # readable reason and the first still-replayable version, so the
+            # replica (via the bootstrap coordinator, when one runs) can
+            # rejoin through a checkpoint instead of being stranded.
             self.stale_recovery_refusals += 1
+            self.network.send(
+                self.name,
+                message.replica,
+                RecoveryReply(
+                    message.replica,
+                    (),
+                    bootstrap_required=True,
+                    first_replayable=self.first_replayable_version(),
+                ),
+            )
             return
         self.add_replica(message.replica, applied_version=message.after_version)
+        self.network.send(
+            self.name,
+            message.replica,
+            RecoveryReply(message.replica, entries, prevs=prevs),
+        )
+
+    def _handle_catch_up(self, message: CatchUpRequest) -> None:
+        """Serve a replay to a bootstrapping replica *without* re-admitting
+        it.
+
+        The joiner is deliberately kept out of ``replica_names`` and
+        ``applied_versions`` while it catches up: a replica behind the pack
+        must never pin the replication horizon (or stall EAGER's
+        global-commit counting).  The coordinator re-admits it atomically —
+        via a normal :class:`RecoveryRequest` — only once it is within the
+        configured lag bound.
+        """
+        try:
+            if self.partitioned:
+                entries, prevs = self._partitioned_recovery_entries(
+                    message.after_version
+                )
+            else:
+                entries = tuple(
+                    (entry.commit_version, entry.writeset)
+                    for entry in self.log.entries_after(message.after_version)
+                )
+                prevs = None
+        except KeyError:
+            self.network.send(
+                self.name,
+                message.replica,
+                RecoveryReply(
+                    message.replica,
+                    (),
+                    bootstrap_required=True,
+                    first_replayable=self.first_replayable_version(),
+                ),
+            )
+            return
+        self.catch_up_replays += 1
         self.network.send(
             self.name,
             message.replica,
@@ -979,6 +1070,14 @@ class Certifier:
         applied = 0
         if isinstance(ack.payload, dict):
             applied = int(ack.payload.get("version", 0))
+        if applied < self.first_replayable_version() - 1:
+            # The log was truncated past this replica's version (its grace
+            # period expired while it was away): re-admitting it would leave
+            # a hole in its history no replay can fill.  It must come back
+            # through the bootstrap path; its own gap-repair request gets
+            # the machine-readable refusal that drives that.
+            self.stale_recovery_refusals += 1
+            return
         self.add_replica(replica, applied_version=applied)
 
     def remove_replica(self, replica: str) -> None:
@@ -1007,7 +1106,7 @@ class Certifier:
                         )
 
     def add_replica(self, replica: str, applied_version: int = 0) -> None:
-        """(Re-)admit a replica after recovery."""
+        """(Re-)admit a replica after recovery (or bootstrap finalisation)."""
         if replica not in self.replica_names:
             self.replica_names.append(replica)
         self.applied_versions[replica] = applied_version
@@ -1015,3 +1114,22 @@ class Certifier:
         self._departed_since.pop(replica, None)
         if self.monitor is not None:
             self.monitor.add_target(replica)
+        if self.policy.tracks_global_commit:
+            # Credit the (re)joining replica for every awaited version at or
+            # below its applied version: versions absorbed by a checkpoint
+            # (or applied before a crash) are never reported individually,
+            # and without the credit EAGER's global-commit bar — raised by
+            # the join — could wedge clients forever.
+            for version in sorted(
+                v for v in self._applied_by if v <= applied_version
+            ):
+                applied = self._applied_by[version]
+                applied.add(replica)
+                if len(applied) >= len(self.replica_names):
+                    origin, request_id = self._awaiting_global.pop(version)
+                    del self._applied_by[version]
+                    self.network.send(
+                        self.name,
+                        origin,
+                        GlobalCommitNotice(version, request_id),
+                    )

@@ -148,6 +148,10 @@ class DecisionLog:
         self._file = open(path, "a", encoding="utf-8") if path else None
         #: torn final lines dropped by :meth:`load` when rebuilding this log
         self.torn_tail_dropped = 0
+        #: lines :meth:`load` accepted with a verified CRC32 frame
+        self.framed_lines_loaded = 0
+        #: unframed lines :meth:`load` accepted from a pre-CRC sink
+        self.legacy_lines_loaded = 0
 
     def __len__(self) -> int:
         """Entries currently held in memory (excludes the truncated prefix)."""
@@ -264,13 +268,18 @@ class DecisionLog:
         if lines and lines[-1] == "":
             lines.pop()  # trailing newline of a clean final append
         for index, line in enumerate(lines):
+            framed = "\t" in line
             try:
-                payload = _unframe(line) if "\t" in line else line
+                payload = _unframe(line) if framed else line
                 entry = LogEntry.from_json(payload)
             except ValueError as exc:
                 if index == len(lines) - 1 and truncate_torn_tail:
                     log.torn_tail_dropped += 1
                     return log
                 raise LogCorruptionError(path, index + 1, str(exc)) from exc
+            if framed:
+                log.framed_lines_loaded += 1
+            else:
+                log.legacy_lines_loaded += 1
             log.append(entry)
         return log

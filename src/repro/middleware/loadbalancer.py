@@ -171,6 +171,12 @@ class LoadBalancer:
         #: heartbeats, so suspicion-based recovery must not re-admit it.
         self._quarantined: set[str] = set()
         self.quarantine_count = 0
+        #: replicas admitted in the ``joining`` lifecycle state (bootstrap
+        #: state transfer in progress): known to the balancer but never
+        #: routed to until the coordinator transitions them to ``live``
+        self._joining: set[str] = set()
+        #: joining → live transitions completed
+        self.joins_completed = 0
         self._active_count: dict[str, int] = {r: 0 for r in replica_names}
         self._round_robin_next = 0
         # current-attempt request_id -> entry for in-flight requests.
@@ -265,6 +271,8 @@ class LoadBalancer:
             "partition_versions": self.tracker.partition_versions(),
             "pending_depth": self.pending_depth(),
             "active": dict(self._active_count),
+            "joining": sorted(self._joining),
+            "joins_completed": self.joins_completed,
         }
 
     # -- main loop ------------------------------------------------------------
@@ -425,6 +433,7 @@ class LoadBalancer:
             queue
             and replica in self._up
             and replica not in self._quarantined
+            and replica not in self._joining
             and self._active_count.get(replica, 0) < settings.mpl_cap
         ):
             request, read_only = queue.popleft()
@@ -474,7 +483,9 @@ class LoadBalancer:
         routable = [
             r
             for r in self._replicas
-            if r in self._up and r not in self._quarantined
+            if r in self._up
+            and r not in self._quarantined
+            and r not in self._joining
         ]
         candidates = [r for r in routable if r not in exclude]
         if not candidates:
@@ -791,6 +802,39 @@ class LoadBalancer:
         """Resume routing to a recovered replica."""
         if replica in self._replicas:
             self._up.add(replica)
+
+    # -- replica lifecycle (bootstrap) ------------------------------------------
+    @property
+    def joining_replicas(self) -> frozenset:
+        """Replicas in the ``joining``/``catching-up`` lifecycle state."""
+        return frozenset(self._joining)
+
+    def admit_joining(self, replica: str) -> None:
+        """Admit a replica in the ``joining`` state: the balancer knows it
+        (a brand-new node is registered) but never routes client traffic to
+        it until :meth:`set_live`.  A rejoining node's queued and in-flight
+        requests, if any, evacuate like a suspected replica's."""
+        if replica not in self._replicas:
+            self._replicas.append(replica)
+            self._active_count[replica] = 0
+            self._pending[replica] = deque()
+        if replica in self._joining:
+            return
+        self._joining.add(replica)
+        self._evacuate(replica, f"replica {replica} joining",
+                       f"replica {replica} joining")
+
+    def set_live(self, replica: str) -> None:
+        """Transition a caught-up joiner to ``live``: it enters the routing
+        set (and the failure detector's targets) from here on."""
+        if replica not in self._joining:
+            return
+        self._joining.discard(replica)
+        self._up.add(replica)
+        self.joins_completed += 1
+        if self.monitor is not None:
+            self.monitor.add_target(replica)
+        self._pump(replica)
 
     # -- quarantine (anti-entropy) --------------------------------------------
     @property

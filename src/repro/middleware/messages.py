@@ -40,6 +40,10 @@ __all__ = [
     "TableSyncReply",
     "RepairApply",
     "RepairAck",
+    "CatchUpRequest",
+    "CheckpointInstall",
+    "CheckpointInstalled",
+    "BootstrapRequired",
 ]
 
 _request_ids = itertools.count(1)
@@ -217,13 +221,22 @@ class RecoveryRequest:
 
 @dataclass(frozen=True)
 class RecoveryReply:
-    """Certifier → recovering proxy: the missed writesets, ascending."""
+    """Certifier → recovering proxy: the missed writesets, ascending.
+
+    ``bootstrap_required=True`` is the machine-readable refusal: the replica
+    asked for a replay starting below the truncated decision log's floor, so
+    incremental catch-up is impossible.  ``first_replayable`` is the lowest
+    version the certifier can still replay — anything older must come from a
+    checkpoint (state transfer) instead.
+    """
 
     replica: str
     entries: tuple  # tuple[tuple[int, WriteSet], ...]
     #: partitioned pipeline only: per-entry predecessor vectors, aligned
     #: with ``entries`` (``prevs[i]`` belongs to ``entries[i]``).
     prevs: Optional[tuple] = None
+    bootstrap_required: bool = False
+    first_replayable: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -410,6 +423,62 @@ class RepairAck:
     round_id: int
     version: int
     rows_repaired: int
+
+
+# ---------------------------------------------------------------------------
+# Replica lifecycle protocol (bootstrap, catch-up, membership)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CatchUpRequest:
+    """Bootstrap coordinator → certifier, on a joiner's behalf: replay all
+    decisions after ``after_version`` to ``replica`` *without* re-admitting
+    it.  Unlike :class:`RecoveryRequest`, the joiner stays out of the
+    membership set and the replication-horizon computation — a replica that
+    is still catching up must never pin the horizon.
+    """
+
+    replica: str
+    after_version: int
+
+
+@dataclass(frozen=True)
+class CheckpointInstall:
+    """Bootstrap coordinator → joining replica proxy: adopt this fuzzy
+    checkpoint.
+
+    ``rows`` has the shape of :attr:`TableSyncReply.rows` — per-table latest
+    row images captured atomically at the donor's ``checkpoint_version``.
+    The joiner replaces its table state, jumps its apply watermark to the
+    checkpoint version, and replays only decisions above it.
+    """
+
+    reply_to: str
+    round_id: int
+    checkpoint_version: int
+    rows: Mapping[str, tuple]
+
+
+@dataclass(frozen=True)
+class CheckpointInstalled:
+    """Joining replica proxy → bootstrap coordinator: the checkpoint is
+    installed and the replica's version is now ``version``."""
+
+    replica: str
+    round_id: int
+    version: int
+
+
+@dataclass(frozen=True)
+class BootstrapRequired:
+    """Replica proxy → bootstrap coordinator: my recovery replay was refused
+    because the decision log no longer reaches back to my version (the
+    certifier's refusal carried ``first_replayable``).  The coordinator
+    responds by re-bootstrapping the replica from a checkpoint."""
+
+    replica: str
+    first_replayable: int
 
 
 @dataclass(frozen=True)

@@ -34,8 +34,11 @@ from .clock import VersionClock
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
 from .lifecycle import CertifierUnavailable, ReplicaCrashed, TxnLifecycle
 from .messages import (
+    BootstrapRequired,
     CertifierSuspected,
     CertifyReply,
+    CheckpointInstall,
+    CheckpointInstalled,
     CommitApplied,
     DigestReply,
     DigestRequest,
@@ -177,6 +180,15 @@ class ReplicaProxy:
         self.digest_replies = 0
         self.table_syncs_served = 0
         self.repairs_applied = 0
+        # Replica lifecycle (see middleware/bootstrap.py).  ``bootstrapping``
+        # is set by the coordinator while this replica is joining or catching
+        # up: gap repair is suppressed then, so the certifier never re-admits
+        # a replica that must not pin the replication horizon yet.
+        self.bootstrap_name: Optional[str] = None
+        self.bootstrapping = False
+        self.checkpoints_installed = 0
+        self.bootstrap_required_refusals = 0
+        self.last_bootstrap_first_replayable = 0
         #: armed by FaultInjector.skip_refresh / double_apply_refresh — the
         #: next refresh apply is installed wrongly ("skip" or "double")
         self._corrupt_next_refresh: Optional[str] = None
@@ -270,6 +282,8 @@ class ReplicaProxy:
                 self._handle_table_sync(message)
             elif isinstance(message, RepairApply):
                 self._handle_repair_apply(message)
+            elif isinstance(message, CheckpointInstall):
+                self._handle_checkpoint_install(message)
             else:
                 raise TypeError(f"{self.name} got unexpected message {message!r}")
 
@@ -304,6 +318,11 @@ class ReplicaProxy:
         the next version, ask for a recovery replay.  The cooldown absorbs
         the benign case where the refresh is merely still on the wire.
         """
+        if self.bootstrapping:
+            # The bootstrap coordinator owns our catch-up; a gap-repair
+            # RecoveryRequest would make the certifier re-admit us into the
+            # membership set (and the horizon) while we are still behind.
+            return
         next_version = self.engine.version + 1
         if commit_version <= self.engine.version:
             return
@@ -421,6 +440,52 @@ class ReplicaProxy:
             ),
         )
 
+    # -- replica lifecycle -----------------------------------------------------
+    def _handle_checkpoint_install(self, message: CheckpointInstall) -> None:
+        """Adopt a donor's fuzzy checkpoint (bootstrap state transfer).
+
+        Every table's latest row images were captured atomically at the
+        donor's ``checkpoint_version``; installing them and jumping the apply
+        watermark there makes this copy equivalent to one that applied
+        versions 1..checkpoint individually.  We serve no client traffic
+        while joining, so the in-place swap is safe; the catch-up replay
+        above the checkpoint composes via the resync floor.
+        """
+        db = self.engine.database
+        for table, entries in message.rows.items():
+            db.resync_table(table, entries, message.checkpoint_version)
+        db.adopt_checkpoint(message.checkpoint_version)
+        self.checkpoints_installed += 1
+        self._purge_stale_refreshes()
+        self.clock.advance_to(self.engine.version)
+        # The checkpoint covers every table, hence every partition.
+        for clock in self.partition_clocks.values():
+            clock.advance_to(self.engine.version)
+        self._wake_applier()
+        self.network.send(
+            self.name,
+            message.reply_to,
+            CheckpointInstalled(
+                replica=self.name,
+                round_id=message.round_id,
+                version=db.version,
+            ),
+        )
+
+    def stats(self) -> dict:
+        """Counter snapshot of this replica's proxy (lifecycle view)."""
+        return {
+            "v_local": self.engine.version,
+            "committed": self.committed_count,
+            "aborted": self.aborted_count,
+            "refreshes_applied": self.refresh_applied_count,
+            "gap_repairs": self.gap_repairs,
+            "checkpoints_installed": self.checkpoints_installed,
+            "bootstrap_required_refusals": self.bootstrap_required_refusals,
+            "last_bootstrap_first_replayable": self.last_bootstrap_first_replayable,
+            "bootstrapping": self.bootstrapping,
+        }
+
     # -- refresh handling ------------------------------------------------------
     def _receive_refresh(self, message: RefreshWriteset) -> None:
         if self.engine.database.has_applied(message.commit_version):
@@ -442,6 +507,20 @@ class ReplicaProxy:
         self._wake_applier()
 
     def _receive_recovery(self, message: RecoveryReply) -> None:
+        if message.bootstrap_required:
+            # The decision log no longer reaches back to our version: an
+            # incremental replay is impossible and we must re-bootstrap from
+            # a checkpoint.  Surface the machine-readable refusal and hand
+            # the replica to the bootstrap coordinator (when one exists).
+            self.bootstrap_required_refusals += 1
+            self.last_bootstrap_first_replayable = message.first_replayable
+            if self.bootstrap_name is not None and not self.bootstrapping:
+                self.network.send(
+                    self.name,
+                    self.bootstrap_name,
+                    BootstrapRequired(self.name, message.first_replayable),
+                )
+            return
         # A second recovery can replay writesets the engine already applied;
         # drop anything at or below the current version first so a stale
         # entry cannot linger in the pending map (it would never match

@@ -139,6 +139,19 @@ class Scrubber:
         self._dispatcher = env.process(self._dispatch(), name=f"{name}-dispatch")
         self._driver = env.process(self._drive(), name=f"{name}-loop")
 
+    # -- membership ----------------------------------------------------------
+    def add_replica(self, replica: str) -> None:
+        """Start scrubbing a replica that joined the cluster online (the
+        bootstrap coordinator calls this at its joining → live transition)."""
+        if replica not in self.replica_names:
+            self.replica_names.append(replica)
+
+    def _joining(self) -> frozenset:
+        """Replicas still in the joining/catching-up lifecycle state: not
+        judged (a mid-transfer copy would trip a false divergence alarm) and
+        never used as repair donors."""
+        return getattr(self.balancer, "joining_replicas", frozenset())
+
     # -- inspection ----------------------------------------------------------
     @property
     def quarantined(self) -> frozenset:
@@ -205,7 +218,10 @@ class Scrubber:
         tracker = self.tracker_provider()
         if tracker is None:
             return
+        joining = self._joining()
         for replica, reply in sorted(self._replies.items()):
+            if replica in joining:
+                continue
             if not reply.aligned:
                 # Out-of-order partitioned applies in flight: the digests
                 # include images above the watermark.  Not a divergence —
@@ -287,11 +303,13 @@ class Scrubber:
         """The healthy donor: a replica that answered this round, clean and
         aligned, at the highest version (minimises the race between the
         captured images and the target's ongoing catch-up)."""
+        joining = self._joining()
         candidates = [
             reply
             for replica, reply in self._replies.items()
             if replica != target
             and replica not in self._quarantined_at
+            and replica not in joining
             and reply.aligned
         ]
         if not candidates:

@@ -262,6 +262,26 @@ class Database:
             out[name] = digest
         return out
 
+    def adopt_checkpoint(self, version: int) -> None:
+        """Jump the apply watermark to ``version`` after a checkpoint install.
+
+        A bootstrap checkpoint carries every table's latest row images as of
+        the donor's ``version``, so once :meth:`resync_table` has installed
+        them this copy *is* at that version — without having applied the
+        individual writesets.  Versions applied ahead that the checkpoint now
+        covers are absorbed; a contiguous run above the new watermark is
+        absorbed too (the joiner may have buffered refreshes out of order
+        while the transfer was in flight).
+        """
+        if version > self._version:
+            self._version = version
+            self._applied_ahead = {
+                v for v in self._applied_ahead if v > version
+            }
+            while self._version + 1 in self._applied_ahead:
+                self._applied_ahead.discard(self._version + 1)
+                self._version += 1
+
     def resync_table(self, table: str, entries, synced_version: int) -> int:
         """Online repair: adopt a healthy peer's latest row images for
         ``table`` (the peer captured them at its version

@@ -209,6 +209,35 @@ class TestAntiEntropyKnobsDefaultsOff:
         assert cluster.load_balancer.quarantine_count == 0
 
 
+class TestBootstrapKnobsDefaultsOff:
+    """The replica-lifecycle subsystem must be trace-neutral when off:
+    passing every bootstrap knob at its default value reproduces the golden
+    run exactly (the coordinator is not even constructed)."""
+
+    def test_explicit_default_knobs_are_byte_identical(self):
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=10, rows_per_table=200),
+            ClusterConfig(
+                num_replicas=4,
+                level=ConsistencyLevel.SC_COARSE,
+                seed=11,
+                bootstrap_enabled=False,
+                bootstrap_live_lag=4,
+                bootstrap_retry_ms=25.0,
+                bootstrap_checkpoint_timeout_ms=200.0,
+            ),
+        )
+        collector = MetricsCollector(measure_start=0.0)
+        cluster.add_clients(6, collector)
+        cluster.run(2_500.0)
+        assert fingerprint(cluster, collector) == GOLDEN["sc-coarse"]
+        assert cluster.bootstrap is None
+        assert cluster.stats()["bootstrap"] is None
+        assert all(
+            p.checkpoints_installed == 0 for p in cluster.replicas.values()
+        )
+
+
 class TestHotPathOverhaul:
     """The wall-clock hot paths (zero-delay FIFO, pooled wakeup/delivery
     events, compiled SQL plans, engine fast paths) must be trace-neutral:

@@ -250,3 +250,108 @@ class TestCRCFraming:
         assert loaded.replay_into(target) == loaded.last_version == 4
         assert target.table("t").read(4, target.version) == {"id": 4, "v": 40}
         assert target.table("t").read(5, target.version) is None
+
+
+class TestLoadCounters:
+    """``load`` counts what it accepted (framed vs legacy lines, torn tails
+    dropped) so recovery can report how trustworthy the rebuilt log is, and
+    the certifier aggregates the counters into ``stats()["durability"]``."""
+
+    def write_log(self, tmp_path, versions=5, name="decisions.log"):
+        path = str(tmp_path / name)
+        log = DecisionLog(path)
+        for version in range(1, versions + 1):
+            log.append(entry(version, key=version, value=version * 10))
+        log.close()
+        return path
+
+    def test_clean_framed_load_counts(self, tmp_path):
+        loaded = DecisionLog.load(self.write_log(tmp_path))
+        assert loaded.framed_lines_loaded == 5
+        assert loaded.legacy_lines_loaded == 0
+        assert loaded.torn_tail_dropped == 0
+
+    def test_all_legacy_load_counts(self, tmp_path):
+        path = self.write_log(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        legacy = [line.rsplit("\t", 1)[0] for line in lines]
+        open(path, "w", encoding="utf-8").write("\n".join(legacy) + "\n")
+        loaded = DecisionLog.load(path)
+        assert loaded.framed_lines_loaded == 0
+        assert loaded.legacy_lines_loaded == 5
+
+    def test_mixed_sink_with_torn_tail_splits_counts(self, tmp_path):
+        """An upgraded sink: legacy prefix, framed suffix, torn final write.
+        Dropped or refused lines must not be counted as loaded."""
+        path = self.write_log(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[0] = lines[0].rsplit("\t", 1)[0]
+        lines[1] = lines[1].rsplit("\t", 1)[0]
+        lines[4] = lines[4][:25]  # torn mid-append, no trailing newline
+        open(path, "w", encoding="utf-8").write("\n".join(lines))
+        loaded = DecisionLog.load(path)
+        assert loaded.last_version == 4
+        assert loaded.framed_lines_loaded == 2
+        assert loaded.legacy_lines_loaded == 2
+        assert loaded.torn_tail_dropped == 1
+
+    def test_in_memory_log_reports_zero_counts(self):
+        log = DecisionLog()
+        log.append(entry(1))
+        assert log.framed_lines_loaded == 0
+        assert log.legacy_lines_loaded == 0
+        assert log.torn_tail_dropped == 0
+
+    def _certifier(self, log=None, partition_map=None, shard_logs=None):
+        from repro.core.consistency import ConsistencyLevel
+        from repro.middleware import Certifier, CertifierPerformance
+        from repro.sim import Environment, LatencyModel, Network, RngRegistry
+
+        from .conftest import low_variance_params
+
+        env = Environment()
+        network = Network(
+            env, RngRegistry(7).stream("net"), LatencyModel(base=0.05, jitter=0.0)
+        )
+        network.register("replica-0")
+        return Certifier(
+            env=env,
+            network=network,
+            perf=CertifierPerformance(low_variance_params(), RngRegistry(1).stream("c")),
+            replica_names=["replica-0"],
+            level=ConsistencyLevel.SC_COARSE,
+            log=log,
+            partition_map=partition_map,
+            shard_logs=shard_logs,
+        )
+
+    def test_certifier_stats_surface_the_counters(self, tmp_path):
+        path = self.write_log(tmp_path)
+        raw = open(path, encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(raw[:-7])  # tear the tail
+        certifier = self._certifier(log=DecisionLog.load(path))
+        durability = certifier.stats()["durability"]
+        assert durability == {
+            "torn_tail_dropped": 1,
+            "framed_lines_loaded": 4,
+            "legacy_lines_loaded": 0,
+        }
+
+    def test_partitioned_stats_aggregate_over_shard_logs(self, tmp_path):
+        from repro.core.partition import PartitionMap
+
+        framed = DecisionLog.load(self.write_log(tmp_path, name="shard0.log"))
+        path = self.write_log(tmp_path, versions=3, name="shard1.log")
+        lines = open(path, encoding="utf-8").read().splitlines()
+        legacy = [line.rsplit("\t", 1)[0] for line in lines]
+        open(path, "w", encoding="utf-8").write("\n".join(legacy) + "\n")
+        certifier = self._certifier(
+            partition_map=PartitionMap(2, table_groups=(("t",), ("u",))),
+            shard_logs={0: framed, 1: DecisionLog.load(path)},
+        )
+        durability = certifier.stats()["durability"]
+        assert durability == {
+            "torn_tail_dropped": 0,
+            "framed_lines_loaded": 5,
+            "legacy_lines_loaded": 3,
+        }

@@ -229,7 +229,14 @@ class TestStaleRecoveryRefusal:
         replies = []
         while len(other):
             replies.append(other.receive().value)
-        assert not any(isinstance(r, RecoveryReply) for r in replies)
+        # The refusal is machine-readable: no replay entries, but a reply
+        # naming the reason and the first version still replayable so the
+        # returnee can route itself to a checkpoint bootstrap.
+        refusals = [r for r in replies if isinstance(r, RecoveryReply)]
+        assert len(refusals) == 1
+        assert refusals[0].bootstrap_required
+        assert refusals[0].entries == ()
+        assert refusals[0].first_replayable == 5
 
     def test_caught_up_returnee_is_replayed(self):
         env, network, certifier, other = self._truncated_partitioned_certifier()
