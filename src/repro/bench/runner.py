@@ -22,6 +22,7 @@ from ..histories.checkers import (
 )
 from ..metrics.collector import MetricsCollector, MetricsSummary
 from ..metrics.profiler import PROFILER
+from ..metrics.tracing import TRACER
 from ..middleware.perfmodel import PerformanceParams
 from ..sim.network import LatencyModel
 from ..workloads.base import Workload
@@ -55,6 +56,12 @@ class ExperimentConfig:
     #: enable the wall-clock profiler for this run and attach its report
     #: to the result (see :mod:`repro.metrics.profiler`)
     profile: bool = False
+    #: enable per-transaction tracing for this run and attach the captured
+    #: spans to the result (see :mod:`repro.metrics.tracing`)
+    trace: bool = False
+    #: fraction of transactions to trace when ``trace`` is set (0..1);
+    #: deterministic in the request id, never touches the RNG streams
+    trace_sample_rate: float = 1.0
 
     @property
     def total_ms(self) -> float:
@@ -75,6 +82,8 @@ class ExperimentResult:
     session_consistent: Optional[bool] = None
     #: rendered wall-clock profile, when the run had ``profile`` set
     profile_report: Optional[str] = None
+    #: captured trace spans, when the run had ``trace`` set
+    trace_spans: Optional[tuple] = None
 
     @property
     def tps(self) -> float:
@@ -149,6 +158,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         PROFILER.reset()
         PROFILER.enable()
         started_profiler = True
+    started_tracer = False
+    if config.trace and not TRACER.enabled:
+        TRACER.reset()
+        TRACER.configure(sample_rate=config.trace_sample_rate)
+        TRACER.enable()
+        started_tracer = True
     wall_start = perf_counter()
 
     with PROFILER.section("cluster.build"):
@@ -183,6 +198,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         )
     if started_profiler:
         PROFILER.disable()
+    trace_spans = None
+    if config.trace:
+        trace_spans = tuple(TRACER.spans)
+    if started_tracer:
+        TRACER.disable()
 
     early_aborts = sum(p.early_abort_count for p in cluster.replicas.values())
     strongly = session = None
@@ -200,4 +220,5 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         strongly_consistent=strongly,
         session_consistent=session,
         profile_report=profile_report,
+        trace_spans=trace_spans,
     )

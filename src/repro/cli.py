@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from .bench import experiments
 from .core.policy import available_policies, resolve_policy
 from .metrics.profiler import PROFILER
+from .metrics.tracing import TRACER
 
 __all__ = ["main", "build_parser"]
 
@@ -40,32 +41,73 @@ def _policy_spec(spec: str) -> str:
     return spec
 
 
+def _observability_parent() -> argparse.ArgumentParser:
+    """The shared ``--profile`` / ``--trace`` / ``--stats`` flags.
+
+    Every subcommand (and the root parser) accepts them, so both
+    ``repro --trace out.json fig5`` and ``repro fig5 --trace out.json``
+    work.  Defaults are ``SUPPRESS`` so a subparser never overwrites a
+    value the root parser already captured; read them back with
+    ``getattr(args, name, fallback)``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="enable the wall-clock profiler and print its report at the end",
+    )
+    group.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=argparse.SUPPRESS,
+        help="enable per-transaction tracing and write a Chrome-trace JSON "
+             "file (open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    group.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        metavar="RATE",
+        default=argparse.SUPPRESS,
+        help="fraction of transactions to trace (0..1, default 1.0); "
+             "sampling is deterministic in the request id",
+    )
+    group.add_argument(
+        "--stats",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="print the metrics-registry report for the last cluster built",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
+    observability = _observability_parent()
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduction of 'Strongly consistent replication for a bargain' "
             "(ICDE 2010): regenerate the paper's tables and figures."
         ),
-    )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="enable the wall-clock profiler and print its report at the end",
+        parents=[observability],
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="Table I — version maintenance walkthrough")
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[observability], **kwargs)
+
+    add_parser("table1", help="Table I — version maintenance walkthrough")
 
     for figure in ("fig3", "fig4", "fig5", "fig6", "fig7"):
-        figure_parser = sub.add_parser(figure, help=f"regenerate {figure}")
+        figure_parser = add_parser(figure, help=f"regenerate {figure}")
         figure_parser.add_argument(
             "--full", action="store_true",
             help="paper-scale sweep instead of the quick one",
         )
         figure_parser.add_argument("--seed", type=int, default=0)
 
-    audit = sub.add_parser(
+    audit = add_parser(
         "audit", help="run a loaded cluster and audit its consistency"
     )
     audit.add_argument(
@@ -82,7 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--duration-ms", type=float, default=2_000.0)
     audit.add_argument("--seed", type=int, default=0)
 
-    avail = sub.add_parser(
+    avail = add_parser(
         "availability",
         help="replica-crash availability: detection latency, throughput "
              "dip, time-to-recover (SC-FINE vs EAGER)",
@@ -90,7 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     avail.add_argument("--full", action="store_true")
     avail.add_argument("--seed", type=int, default=0)
 
-    sat = sub.add_parser(
+    sat = add_parser(
         "saturation",
         help="overload protection under open-loop load: saturation sweep "
              "(p99/goodput/shed rate) plus the retry-storm experiment",
@@ -98,7 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("--full", action="store_true")
     sat.add_argument("--seed", type=int, default=0)
 
-    nemesis = sub.add_parser(
+    nemesis = add_parser(
         "nemesis",
         help="seeded chaos soak (crashes, partitions, certifier kill) "
              "with the full safety audit",
@@ -118,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
              "on an elastic cluster, with the same safety audit",
     )
 
-    scrub = sub.add_parser(
+    scrub = add_parser(
         "scrub",
         help="anti-entropy demo: inject silent corruption and watch the "
              "scrubber detect, quarantine, repair and re-admit",
@@ -136,7 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="light scrubs (incremental digests only — misses bit rot)",
     )
 
-    membership = sub.add_parser(
+    membership = add_parser(
         "membership",
         help="replica lifecycle demo: join a brand-new replica to a loaded "
              "cluster and watch it bootstrap to live",
@@ -153,13 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
              "joining → catching-up → live lifecycle",
     )
 
-    everything = sub.add_parser(
+    everything = add_parser(
         "all", help="regenerate Table I and every figure (quick scale)"
     )
     everything.add_argument("--full", action="store_true")
     everything.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("levels", help="list the consistency configurations")
+    add_parser("levels", help="list the consistency configurations")
     return parser
 
 
@@ -320,13 +362,14 @@ def _run_nemesis(args) -> str:
     ]
     ok = not violations and not lost and not doubled and converged
     if rolling:
-        from .metrics import format_bootstrap_stats
+        from .metrics import render
 
         bootstrap = cluster.bootstrap
         lines += ["", "lifecycle timeline:"]
         lines += [f"  {t:8.1f}  {state:22s} {replica} {detail}"
                   for t, state, replica, detail in bootstrap.events]
-        lines += ["", format_bootstrap_stats(bootstrap.stats())]
+        lines += ["", render({"bootstrap": bootstrap.stats()},
+                             sections=("bootstrap",))]
         all_live = (
             all(name in certifier.replica_names for name in cluster.replica_names)
             and not cluster.load_balancer.joining_replicas
@@ -355,7 +398,7 @@ def _run_scrub(args) -> str:
     from .core.cluster import ClusterConfig, ReplicatedDatabase
     from .faults import FaultInjector
     from .histories.checkers import strong_consistency_violations
-    from .metrics import format_scrub_stats
+    from .metrics import render
     from .workloads import MicroBenchmark
 
     config = ClusterConfig.anti_entropy(
@@ -403,7 +446,7 @@ def _run_scrub(args) -> str:
     lines += ["", "scrubber timeline:"]
     lines += [f"  {t:8.1f}  {event:17s} {replica} {detail}"
               for t, event, replica, detail in scrubber.events]
-    lines += ["", format_scrub_stats(scrubber.stats())]
+    lines += ["", render({"scrub": scrubber.stats()}, sections=("scrub",))]
 
     corrupted = {name for _t, _k, name, _d in injector.corruptions}
     detected = {replica for _t, event, replica, _d in scrubber.events
@@ -441,7 +484,7 @@ def _run_scrub(args) -> str:
 def _run_membership(args) -> tuple[str, int]:
     from .core.cluster import ClusterConfig, ReplicatedDatabase
     from .histories.checkers import strong_consistency_violations
-    from .metrics import format_bootstrap_stats
+    from .metrics import render
     from .workloads import MicroBenchmark
 
     config = ClusterConfig.elastic(
@@ -475,7 +518,7 @@ def _run_membership(args) -> tuple[str, int]:
     proxy = cluster.replicas[joiner]
     lines += [
         "",
-        format_bootstrap_stats(bootstrap.stats()),
+        render({"bootstrap": bootstrap.stats()}, sections=("bootstrap",)),
         "",
         f"joiner V_local={proxy.v_local}, V_commit={commit}, "
         f"catch-up lag={commit - proxy.v_local} versions",
@@ -531,9 +574,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     exit_code = 0
-    if args.profile:
+    profile = getattr(args, "profile", False)
+    trace_out = getattr(args, "trace", None)
+    show_stats = getattr(args, "stats", False)
+    if profile:
         PROFILER.reset()
         PROFILER.enable()
+    if trace_out:
+        TRACER.reset()
+        TRACER.configure(sample_rate=getattr(args, "trace_sample_rate", 1.0))
+        TRACER.enable()
     if args.command == "table1":
         print(experiments.table1())
     elif args.command in ("fig3", "fig4", "fig5", "fig6", "fig7"):
@@ -563,7 +613,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
     elif args.command == "levels":
         print(_run_levels())
-    if args.profile:
+    if show_stats:
+        from .metrics import latest_registry, render
+
+        registry = latest_registry()
+        print()
+        if registry is None:
+            print("stats: no cluster was built by this command")
+        else:
+            print(render(registry, sections=("summary", "partition", "scrub",
+                                             "bootstrap", "replicas", "trace")))
+    if trace_out:
+        TRACER.disable()
+        TRACER.export_chrome(trace_out)
+        totals = TRACER.stage_totals()
+        print()
+        print(
+            f"trace: {len(TRACER)} spans ({TRACER.dropped} dropped) "
+            f"-> {trace_out}"
+        )
+        if totals:
+            from .metrics.report import format_table
+
+            rows = [[name, total] for name, total in sorted(totals.items())]
+            print(format_table(["span", "total_ms"], rows, floatfmt="{:.2f}"))
+    if profile:
         PROFILER.disable()
         print()
         print(PROFILER.report())

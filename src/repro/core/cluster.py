@@ -20,6 +20,8 @@ from typing import Optional
 
 from ..histories.records import RunHistory
 from ..metrics.collector import MetricsCollector
+from ..metrics.registry import MetricsRegistry, _set_latest
+from ..metrics.tracing import TRACER
 from ..middleware.bootstrap import BootstrapCoordinator, BootstrapSettings
 from ..middleware.certifier import Certifier
 from ..middleware.durability import DecisionLog
@@ -165,6 +167,18 @@ class ClusterConfig:
     bootstrap_retry_ms: float = 25.0
     #: checkpoint transfer retry timeout (ms)
     bootstrap_checkpoint_timeout_ms: float = 200.0
+    # -- tracing (off by default; see docs/OBSERVABILITY.md) ----------------
+    #: enable the module-level TRACER when this cluster is constructed.
+    #: Tracing is record-only — it never schedules events or draws RNG, so
+    #: even enabled it cannot change virtual-time behaviour; off (the
+    #: default) the hot paths do a single attribute check and allocate
+    #: nothing.
+    trace_enabled: bool = False
+    #: fraction of transactions traced (deterministic hash sampling over
+    #: request ids — no RNG stream is consumed)
+    trace_sample_rate: float = 1.0
+    #: span ring-buffer capacity (oldest spans dropped beyond it)
+    trace_buffer: int = 65536
 
     def __post_init__(self):
         if self.num_replicas < 1:
@@ -216,6 +230,10 @@ class ClusterConfig:
             raise ValueError("net_duplicate_prob must be in [0, 1]")
         if not 0.0 <= self.net_reorder_prob <= 1.0:
             raise ValueError("net_reorder_prob must be in [0, 1]")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.trace_buffer < 1:
+            raise ValueError("trace_buffer must be >= 1")
 
     @classmethod
     def self_healing(cls, **overrides) -> "ClusterConfig":
@@ -336,6 +354,34 @@ class ClusterConfig:
         )
 
 
+def _canonical_certifier(raw: dict) -> dict:
+    """Canonical certifier tree: ``shards`` becomes ``shard`` (so dotted
+    names read ``certifier.shard.0.conflicts``) and per-shard/global
+    ``aborts`` become ``conflicts``."""
+    tree = dict(raw)
+    tree["conflicts"] = tree.pop("aborts", 0)
+    shards = tree.pop("shards", {})
+    tree["shard"] = {
+        shard_id: {
+            ("conflicts" if key == "aborts" else key): value
+            for key, value in shard_stats.items()
+        }
+        for shard_id, shard_stats in shards.items()
+    }
+    return tree
+
+
+def _canonical_scrub(raw: Optional[dict]) -> Optional[dict]:
+    """Canonical scrub tree: drop the redundant ``scrub_`` prefix so the
+    dotted names read ``scrub.rounds`` rather than ``scrub.scrub_rounds``."""
+    if raw is None:
+        return None
+    return {
+        ("rounds" if key == "scrub_rounds" else key): value
+        for key, value in raw.items()
+    }
+
+
 class ReplicatedDatabase:
     """A fully wired multi-master replicated database."""
 
@@ -346,6 +392,21 @@ class ReplicatedDatabase:
             raise TypeError("pass either a ClusterConfig or keyword overrides, not both")
         self.config = config
         self.workload = workload
+        if config.trace_enabled:
+            # The tracer is a module-level singleton (like PROFILER): the
+            # knob turns it on for this process; callers that interleave
+            # traced and untraced clusters disable/reset it themselves.
+            TRACER.configure(
+                sample_rate=config.trace_sample_rate,
+                capacity=config.trace_buffer,
+            )
+            TRACER.enable()
+        if TRACER.enabled:
+            # Request ids and commit versions restart per cluster: give
+            # this build its own correlation-id namespace so commands
+            # that sweep several clusters (repro fig5 --trace) don't
+            # cross-link spans between runs.
+            TRACER.new_run()
         #: the consistency scheme, resolved once and shared by every layer
         self.policy = resolve_policy(config.level, freshness_bound=config.freshness_bound)
         self.env = Environment()
@@ -500,6 +561,10 @@ class ReplicatedDatabase:
                 proxy.bootstrap_name = self.bootstrap.name
         self._session_counter = 0
         self.client_pool: Optional[ClientPool] = None
+        #: the unified metrics registry — every producer publishes here
+        #: under stable dotted names; :meth:`stats` is a compatibility view
+        self.metrics = self._build_metrics_registry()
+        _set_latest(self.metrics)
 
     def _adopt_certifier(self, certifier: Certifier) -> None:
         """Promotion hook: the promoted standby becomes ``self.certifier`` so
@@ -621,65 +686,91 @@ class ReplicatedDatabase:
         """The certifier's ``V_commit`` — the global database version."""
         return self.certifier.commit_version
 
-    def stats(self) -> dict:
-        """A structured snapshot of the cluster's health.
-
-        Per replica: ``V_local``, the refresh backlog, cumulative CPU busy
-        time and abort counters; plus the certifier's ``V_commit``,
-        replication horizon and decision counts, and the balancer's view.
-        Intended for monitoring loops and tests.
-        """
+    # -- metrics registry ----------------------------------------------------
+    def _certifier_metrics(self) -> dict:
+        """Raw certifier tree: the component's own ``stats()`` plus the
+        identity/version fields the legacy snapshot exposed at top level."""
+        certifier = self.certifier
         return {
-            "time_ms": self.env.now,
-            "level": self.policy.label,
-            "commit_version": self.certifier.commit_version,
-            "replication_horizon": self.certifier.replication_horizon(),
-            "certified": self.certifier.certified_count,
-            "certification_aborts": self.certifier.abort_count,
-            "certifier_name": self.certifier.name,
-            "certifier_epoch": self.certifier.epoch,
-            "certification_mode": self.certifier.certification_mode,
-            "row_comparisons": self.certifier.row_comparisons,
-            "certifier_backpressure_rejects": self.certifier.backpressure_rejects,
-            "partition": {
-                "certifier": self.certifier.stats(),
-                "balancer": self.load_balancer.stats(),
+            "name": certifier.name,
+            "epoch": certifier.epoch,
+            "mode": certifier.certification_mode,
+            "row_comparisons": certifier.row_comparisons,
+            "commit_version": certifier.commit_version,
+            "replication_horizon": certifier.replication_horizon(),
+            **certifier.stats(),
+        }
+
+    def _balancer_metrics(self) -> dict:
+        lb = self.load_balancer
+        return {
+            "v_system": lb.v_system,
+            "outstanding": lb.outstanding_count,
+            "timed_out": lb.timed_out_count,
+            "rerouted_reads": lb.rerouted_reads,
+            "retried_updates": lb.retried_updates,
+            "fate_commits": lb.fate_commits,
+            "fate_aborts": lb.fate_aborts,
+            "shed": lb.shed_count,
+            "deadline_shed": lb.deadline_shed_count,
+            "degraded": lb.degraded_count,
+            "valve_open": lb.valve_open,
+            "unresolved": lb.unresolved_count,
+            "rejected": lb.rejected_count,
+            "quarantines": lb.quarantine_count,
+            **lb.stats(),
+        }
+
+    def _build_metrics_registry(self) -> MetricsRegistry:
+        """Wire every producer into one registry of stable dotted names
+        (``kernel.events_processed``, ``certifier.shard.0.conflicts``,
+        ``scrub.rounds``, …; full catalog in docs/OBSERVABILITY.md)."""
+        registry = MetricsRegistry()
+        registry.register(
+            "cluster",
+            lambda: {
+                "time_ms": self.env.now,
+                "level": self.policy.label,
+                "num_replicas": len(self.replica_names),
             },
-            "network": {
+        )
+        registry.register("kernel", self.env.metrics)
+        registry.register(
+            "certifier", self._certifier_metrics, transform=_canonical_certifier
+        )
+        registry.register("balancer", self._balancer_metrics)
+        registry.register(
+            "network",
+            lambda: {
                 "sent": self.network.sent_count,
                 "dropped": self.network.dropped_count,
                 "dropped_by_reason": dict(self.network.dropped_by_reason),
                 "injected": self.network.injected_count,
                 "injected_by_reason": dict(self.network.injected_by_reason),
             },
-            "scrub": self.scrubber.stats() if self.scrubber is not None else None,
-            "bootstrap": self.bootstrap.stats() if self.bootstrap is not None else None,
-            "balancer": {
-                "v_system": self.load_balancer.v_system,
-                "outstanding": self.load_balancer.outstanding_count,
-                "timed_out": self.load_balancer.timed_out_count,
-                "rerouted_reads": self.load_balancer.rerouted_reads,
-                "retried_updates": self.load_balancer.retried_updates,
-                "fate_commits": self.load_balancer.fate_commits,
-                "fate_aborts": self.load_balancer.fate_aborts,
-                "pending_depth": self.load_balancer.pending_depth(),
-                "shed": self.load_balancer.shed_count,
-                "deadline_shed": self.load_balancer.deadline_shed_count,
-                "degraded": self.load_balancer.degraded_count,
-                "valve_open": self.load_balancer.valve_open,
-            },
-            "kernel": {
-                "events_processed": self.env.events_processed,
-                "immediate_scheduled": self.env.immediate_scheduled,
-            },
-            "storage": {
+        )
+        registry.register(
+            "storage",
+            lambda: {
                 "scan_fallbacks": sum(
                     proxy.engine.database.scan_fallbacks()
                     for proxy in self.replicas.values()
                 ),
                 "plan_cache": _sql.plan_cache().stats(),
             },
-            "replicas": {
+        )
+        registry.register(
+            "scrub",
+            lambda: self.scrubber.stats() if self.scrubber is not None else None,
+            transform=_canonical_scrub,
+        )
+        registry.register(
+            "bootstrap",
+            lambda: self.bootstrap.stats() if self.bootstrap is not None else None,
+        )
+        registry.register(
+            "replica",
+            lambda: {
                 name: {
                     "v_local": proxy.v_local,
                     "lag": self.certifier.commit_version - proxy.v_local,
@@ -693,6 +784,66 @@ class ReplicatedDatabase:
                 }
                 for name, proxy in self.replicas.items()
             },
+        )
+        registry.register("trace", TRACER.stats)
+        return registry
+
+    def stats(self) -> dict:
+        """A structured snapshot of the cluster's health.
+
+        Per replica: ``V_local``, the refresh backlog, cumulative CPU busy
+        time and abort counters; plus the certifier's ``V_commit``,
+        replication horizon and decision counts, and the balancer's view.
+        Intended for monitoring loops and tests.
+
+        This is the **legacy compatibility view** over :attr:`metrics` —
+        the same providers, re-assembled into the historical nested shape.
+        New code should read ``cluster.metrics`` (stable dotted names)
+        instead.
+        """
+        registry = self.metrics
+        cert = registry.tree("certifier", raw=True)
+        balancer = registry.tree("balancer", raw=True)
+        kernel = registry.tree("kernel", raw=True)
+        return {
+            "time_ms": self.env.now,
+            "level": self.policy.label,
+            "commit_version": cert["commit_version"],
+            "replication_horizon": cert["replication_horizon"],
+            "certified": cert["certified"],
+            "certification_aborts": cert["aborts"],
+            "certifier_name": cert["name"],
+            "certifier_epoch": cert["epoch"],
+            "certification_mode": cert["mode"],
+            "row_comparisons": cert["row_comparisons"],
+            "certifier_backpressure_rejects": cert["backpressure_rejects"],
+            "partition": {
+                "certifier": self.certifier.stats(),
+                "balancer": self.load_balancer.stats(),
+            },
+            "network": registry.tree("network", raw=True),
+            "scrub": registry.tree("scrub", raw=True),
+            "bootstrap": registry.tree("bootstrap", raw=True),
+            "balancer": {
+                "v_system": balancer["v_system"],
+                "outstanding": balancer["outstanding"],
+                "timed_out": balancer["timed_out"],
+                "rerouted_reads": balancer["rerouted_reads"],
+                "retried_updates": balancer["retried_updates"],
+                "fate_commits": balancer["fate_commits"],
+                "fate_aborts": balancer["fate_aborts"],
+                "pending_depth": balancer["pending_depth"],
+                "shed": balancer["shed"],
+                "deadline_shed": balancer["deadline_shed"],
+                "degraded": balancer["degraded"],
+                "valve_open": balancer["valve_open"],
+            },
+            "kernel": {
+                "events_processed": kernel["events_processed"],
+                "immediate_scheduled": kernel["immediate_scheduled"],
+            },
+            "storage": registry.tree("storage", raw=True),
+            "replicas": registry.tree("replica", raw=True),
         }
 
     def quiesce(self, settle_ms: float = 50.0, max_wait_ms: float = 60_000.0) -> None:

@@ -1,8 +1,10 @@
-"""Metrics: throughput, response time, per-stage latency breakdowns."""
+"""Metrics: throughput, response time, per-stage latency breakdowns,
+the unified metrics registry, and per-transaction tracing."""
 
 from .ascii_chart import line_chart
 from .collector import MetricsCollector, MetricsSummary, TxnSample
 from .profiler import PROFILER, Profiler
+from .registry import MetricsRegistry, latest_registry
 from .report import (
     format_bootstrap_stats,
     format_breakdown,
@@ -10,14 +12,21 @@ from .report import (
     format_scrub_stats,
     format_series,
     format_table,
+    render,
 )
 from .stages import STAGE_NAMES, StageTimings
+from .tracing import TRACER, Span, Tracer, trace_invariant_report
 
 __all__ = [
     "MetricsCollector",
+    "MetricsRegistry",
     "PROFILER",
     "Profiler",
+    "Span",
+    "TRACER",
+    "Tracer",
     "line_chart",
+    "latest_registry",
     "MetricsSummary",
     "STAGE_NAMES",
     "StageTimings",
@@ -28,4 +37,6 @@ __all__ = [
     "format_scrub_stats",
     "format_series",
     "format_table",
+    "render",
+    "trace_invariant_report",
 ]

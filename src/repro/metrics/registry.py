@@ -1,0 +1,148 @@
+"""Unified metrics registry: one namespace of stable dotted metric names.
+
+Every producer in the system — simulation kernel, storage layer,
+certifier (and its shards), load balancer, overload valve, scrubber,
+bootstrap coordinator, durability log, tracer — publishes into a single
+:class:`MetricsRegistry` owned by the cluster.  Consumers read metrics
+by **stable dotted names** (``kernel.events_processed``,
+``certifier.shard.0.conflicts``, ``scrub.rounds``, …) instead of
+spelunking through per-component ``stats()`` dicts.
+
+The registry is *pull-based*: components register a named provider (a
+zero-argument callable returning a nested dict snapshot) once at wiring
+time; nothing is recorded on the hot path and an unread registry costs
+nothing.  Each provider may carry a ``transform`` that maps its raw
+legacy tree onto the canonical naming (e.g. the certifier's ``shards``
+sub-dict becomes ``shard`` with per-shard ``aborts`` published as
+``conflicts``).  The raw tree stays available — legacy surfaces like
+:meth:`repro.core.cluster.ReplicatedDatabase.stats` are thin
+compatibility views over the same providers.
+
+See ``docs/OBSERVABILITY.md`` for the full metric-name catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["MetricsRegistry", "latest_registry"]
+
+
+class _Provider:
+    __slots__ = ("name", "fn", "transform", "canonical")
+
+    def __init__(self, name, fn, transform, canonical):
+        self.name = name
+        self.fn = fn
+        self.transform = transform
+        self.canonical = canonical
+
+
+class MetricsRegistry:
+    """A named collection of metric providers with a flat dotted view."""
+
+    def __init__(self):
+        self._providers: Dict[str, _Provider] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        provider: Callable[[], Optional[dict]],
+        transform: Optional[Callable[[dict], dict]] = None,
+        canonical: bool = True,
+    ) -> None:
+        """Register (or replace) the provider behind prefix ``name``.
+
+        ``provider`` returns the component's raw snapshot tree (it may
+        return ``None`` for "subsystem not constructed").  ``transform``
+        optionally maps the raw tree to the canonical dotted layout;
+        ``canonical=False`` keeps the provider out of :meth:`collect`
+        (raw-only views used by legacy compatibility surfaces).
+        """
+        if "." in name:
+            raise ValueError(f"provider name must not contain '.': {name!r}")
+        self._providers[name] = _Provider(name, provider, transform, canonical)
+
+    def unregister(self, name: str) -> None:
+        self._providers.pop(name, None)
+
+    def providers(self) -> List[str]:
+        return sorted(self._providers)
+
+    # -- reading -----------------------------------------------------------
+    def tree(self, name: str, raw: bool = False):
+        """One provider's snapshot — canonical by default, ``raw=True``
+        for the untransformed legacy shape."""
+        prov = self._providers[name]
+        value = prov.fn()
+        if raw or prov.transform is None or value is None:
+            return value
+        return prov.transform(value)
+
+    def snapshot(self, raw: bool = False) -> dict:
+        """All providers' trees keyed by provider name."""
+        return {name: self.tree(name, raw=raw) for name in sorted(self._providers)}
+
+    def collect(self) -> dict:
+        """The flat view: ``{dotted.metric.name: value}`` across every
+        canonical provider, sorted by name."""
+        flat: dict = {}
+        for name in sorted(self._providers):
+            prov = self._providers[name]
+            if not prov.canonical:
+                continue
+            tree = self.tree(name)
+            if tree is None:
+                continue
+            _flatten(tree, name, flat)
+        return flat
+
+    def names(self) -> List[str]:
+        return sorted(self.collect())
+
+    def get(self, dotted: str):
+        """Resolve one dotted metric name (raises ``KeyError`` if absent)."""
+        first, _, rest = dotted.partition(".")
+        prov = self._providers.get(first)
+        if prov is None or not prov.canonical:
+            raise KeyError(dotted)
+        node = self.tree(first)
+        if not rest:
+            return node
+        for segment in rest.split("."):
+            if not isinstance(node, dict):
+                raise KeyError(dotted)
+            if segment in node:
+                node = node[segment]
+            elif segment.lstrip("-").isdigit() and int(segment) in node:
+                node = node[int(segment)]
+            else:
+                raise KeyError(dotted)
+        return node
+
+
+def _flatten(tree: dict, prefix: str, out: dict) -> None:
+    for key, value in tree.items():
+        dotted = f"{prefix}.{key}"
+        if isinstance(value, dict):
+            _flatten(value, dotted, out)
+        else:
+            out[dotted] = value
+
+
+#: The registry of the most recently constructed cluster — a convenience
+#: for CLI-level reporting (``--stats``) where the cluster object itself
+#: is buried inside an experiment helper.  Library code should prefer
+#: ``cluster.metrics``.
+_LATEST: Optional[MetricsRegistry] = None
+
+
+def _set_latest(registry: MetricsRegistry) -> None:
+    global _LATEST
+    _LATEST = registry
+
+
+def latest_registry() -> Optional[MetricsRegistry]:
+    """The most recently constructed cluster's registry (None before any)."""
+    return _LATEST

@@ -7,7 +7,8 @@ the same rows/series Figures 3–7 plot.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import warnings
+from typing import Mapping, Optional, Sequence
 
 from .stages import STAGE_NAMES, StageTimings
 
@@ -15,10 +16,14 @@ __all__ = [
     "format_table",
     "format_series",
     "format_breakdown",
+    "render",
     "format_bootstrap_stats",
     "format_partition_stats",
     "format_scrub_stats",
 ]
+
+#: section names accepted by :func:`render`, in display order
+SECTIONS = ("summary", "partition", "scrub", "bootstrap", "replicas", "trace")
 
 
 def format_table(
@@ -80,17 +85,8 @@ def format_breakdown(
     return format_table(headers, rows, title=title, floatfmt="{:.2f}")
 
 
-def format_partition_stats(stats: Mapping, title: str = "") -> str:
-    """Render the partitioned-commit-pipeline view of a cluster stats dict.
-
-    ``stats`` is either the full :meth:`~repro.core.cluster.ReplicatedDatabase.stats`
-    snapshot (the ``"partition"`` key is used) or that key's value directly:
-    ``{"certifier": Certifier.stats(), "balancer": LoadBalancer.stats()}``.
-    One summary block plus one row per certifier shard.
-    """
-    partition = stats.get("partition", stats)
-    certifier = partition.get("certifier", {})
-    balancer = partition.get("balancer", {})
+def _render_partition(certifier: Mapping, balancer: Mapping, title: str = "") -> str:
+    """One summary block plus one row per certifier shard."""
     lines = []
     if title:
         lines.append(title)
@@ -130,14 +126,7 @@ def format_partition_stats(stats: Mapping, title: str = "") -> str:
     return "\n".join(lines)
 
 
-def format_scrub_stats(stats: Mapping, title: str = "") -> str:
-    """Render the anti-entropy view of a cluster stats dict.
-
-    ``stats`` is either the full :meth:`~repro.core.cluster.ReplicatedDatabase.stats`
-    snapshot (the ``"scrub"`` key is used) or that key's value directly
-    (:meth:`~repro.middleware.scrubber.Scrubber.stats`).
-    """
-    scrub = stats.get("scrub", stats) if "scrub" in stats else stats
+def _render_scrub(scrub: Optional[Mapping], title: str = "") -> str:
     lines = []
     if title:
         lines.append(title)
@@ -173,14 +162,7 @@ def format_scrub_stats(stats: Mapping, title: str = "") -> str:
     return "\n".join(lines)
 
 
-def format_bootstrap_stats(stats: Mapping, title: str = "") -> str:
-    """Render the replica-lifecycle view of a cluster stats dict.
-
-    ``stats`` is either the full :meth:`~repro.core.cluster.ReplicatedDatabase.stats`
-    snapshot (the ``"bootstrap"`` key is used) or that key's value directly
-    (:meth:`~repro.middleware.bootstrap.BootstrapCoordinator.stats`).
-    """
-    boot = stats.get("bootstrap", stats) if "bootstrap" in stats else stats
+def _render_bootstrap(boot: Optional[Mapping], title: str = "") -> str:
     lines = []
     if title:
         lines.append(title)
@@ -205,3 +187,159 @@ def format_bootstrap_stats(stats: Mapping, title: str = "") -> str:
     if active:
         lines.append("still bootstrapping: " + ", ".join(active))
     return "\n".join(lines)
+
+
+def _render_summary(snapshot: Mapping) -> str:
+    kernel = snapshot.get("kernel") or {}
+    return (
+        "t={:.0f}ms  level={}  V_commit={}  horizon={}  "
+        "certified={}  aborts={}  kernel-events={}".format(
+            snapshot.get("time_ms", 0.0),
+            snapshot.get("level", "?"),
+            snapshot.get("commit_version", 0),
+            snapshot.get("replication_horizon", 0),
+            snapshot.get("certified", 0),
+            snapshot.get("certification_aborts", 0),
+            kernel.get("events_processed", 0),
+        )
+    )
+
+
+def _render_replicas(replicas: Mapping) -> str:
+    headers = ["replica", "v_local", "lag", "pending", "committed", "aborted", "crashed"]
+    rows = [
+        [
+            name,
+            r.get("v_local", 0),
+            r.get("lag", 0),
+            r.get("pending_refresh", 0),
+            r.get("committed", 0),
+            r.get("aborted", 0),
+            r.get("crashed", False),
+        ]
+        for name, r in sorted(replicas.items())
+    ]
+    return format_table(headers, rows)
+
+
+def _render_trace(trace: Optional[Mapping]) -> str:
+    if not trace or not trace.get("enabled"):
+        return "tracing disabled (trace_enabled=False)"
+    return "tracing: spans={} dropped={} sample_rate={} sampled-requests={}".format(
+        trace.get("spans", 0),
+        trace.get("dropped", 0),
+        trace.get("sample_rate", 1.0),
+        trace.get("sampled_requests", 0),
+    )
+
+
+def _snapshot_of(source) -> Mapping:
+    """Accept either a :class:`~repro.metrics.registry.MetricsRegistry` or a
+    legacy ``ReplicatedDatabase.stats()`` mapping; return the legacy shape."""
+    if hasattr(source, "tree"):  # a MetricsRegistry
+        cert = source.tree("certifier", raw=True) or {}
+        cluster = source.tree("cluster", raw=True) or {}
+        return {
+            "time_ms": cluster.get("time_ms", 0.0),
+            "level": cluster.get("level", "?"),
+            "commit_version": cert.get("commit_version", 0),
+            "replication_horizon": cert.get("replication_horizon", 0),
+            "certified": cert.get("certified", 0),
+            "certification_aborts": cert.get("aborts", 0),
+            "kernel": source.tree("kernel", raw=True),
+            "partition": {
+                "certifier": cert,
+                "balancer": source.tree("balancer", raw=True) or {},
+            },
+            "scrub": source.tree("scrub", raw=True),
+            "bootstrap": source.tree("bootstrap", raw=True),
+            "replicas": source.tree("replica", raw=True) or {},
+            "trace": source.tree("trace", raw=True),
+        }
+    return source
+
+
+def render(source, sections: Sequence[str] = ("summary", "partition", "scrub", "bootstrap")) -> str:
+    """Render an observability report from a metrics source.
+
+    ``source`` is either a :class:`~repro.metrics.registry.MetricsRegistry`
+    (e.g. ``cluster.metrics``) or a legacy
+    :meth:`~repro.core.cluster.ReplicatedDatabase.stats` snapshot.
+    ``sections`` picks which blocks to include, in order, from
+    :data:`SECTIONS`. This supersedes the per-subsystem ``format_*_stats``
+    helpers, which now delegate here.
+    """
+    unknown = [s for s in sections if s not in SECTIONS]
+    if unknown:
+        raise ValueError(f"unknown report sections {unknown!r}; choose from {SECTIONS}")
+    snapshot = _snapshot_of(source)
+    partition = snapshot.get("partition") or {}
+    blocks = []
+    for section in sections:
+        if section == "summary":
+            blocks.append(_render_summary(snapshot))
+        elif section == "partition":
+            blocks.append(
+                _render_partition(
+                    partition.get("certifier", {}),
+                    partition.get("balancer", {}),
+                    title="-- commit pipeline --",
+                )
+            )
+        elif section == "scrub":
+            blocks.append(_render_scrub(snapshot.get("scrub"), title="-- anti-entropy --"))
+        elif section == "bootstrap":
+            blocks.append(
+                _render_bootstrap(snapshot.get("bootstrap"), title="-- replica lifecycle --")
+            )
+        elif section == "replicas":
+            blocks.append(_render_replicas(snapshot.get("replicas") or {}))
+        elif section == "trace":
+            blocks.append(_render_trace(snapshot.get("trace")))
+    return "\n".join(blocks)
+
+
+# -- deprecated per-subsystem helpers (use render() instead) ------------------
+
+
+def _deprecated(old: str, instead: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use repro.metrics.report.{instead}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def format_partition_stats(stats: Mapping, title: str = "") -> str:
+    """Deprecated: use :func:`render` with ``sections=("partition",)``.
+
+    ``stats`` is either the full cluster snapshot (the ``"partition"`` key
+    is used) or that key's value directly.
+    """
+    _deprecated("format_partition_stats", 'render(..., sections=("partition",))')
+    partition = stats.get("partition", stats)
+    return _render_partition(
+        partition.get("certifier", {}), partition.get("balancer", {}), title=title
+    )
+
+
+def format_scrub_stats(stats: Mapping, title: str = "") -> str:
+    """Deprecated: use :func:`render` with ``sections=("scrub",)``.
+
+    ``stats`` is either the full cluster snapshot (the ``"scrub"`` key is
+    used) or that key's value directly.
+    """
+    _deprecated("format_scrub_stats", 'render(..., sections=("scrub",))')
+    scrub = stats.get("scrub", stats) if "scrub" in stats else stats
+    return _render_scrub(scrub, title=title)
+
+
+def format_bootstrap_stats(stats: Mapping, title: str = "") -> str:
+    """Deprecated: use :func:`render` with ``sections=("bootstrap",)``.
+
+    ``stats`` is either the full cluster snapshot (the ``"bootstrap"`` key
+    is used) or that key's value directly.
+    """
+    _deprecated("format_bootstrap_stats", 'render(..., sections=("bootstrap",))')
+    boot = stats.get("bootstrap", stats) if "bootstrap" in stats else stats
+    return _render_bootstrap(boot, title=title)

@@ -42,6 +42,7 @@ from typing import Optional
 
 from ..core.partition import PartitionMap
 from ..core.policy import resolve_policy
+from ..metrics.tracing import TRACER
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from ..sim.resources import Resource
@@ -551,6 +552,8 @@ class Certifier:
                 ),
             )
             return
+        traced = TRACER.enabled and TRACER.is_sampled(request.request_id)
+        trace_start = self.env.now if traced else 0.0
         # Certification + durable logging consume the certifier's CPU; this
         # serialises decisions, which is what makes the total order total.
         yield from self._service.use(self.perf.certify(len(request.writeset)))
@@ -564,6 +567,12 @@ class Certifier:
             self.abort_count += 1
             self.fenced_aborts += 1
             self._aborted_requests.add(request.request_id)
+            if traced:
+                TRACER.record(
+                    "certifier.certify", self.name, trace_start, self.env.now,
+                    request_id=request.request_id, txn_id=request.txn_id,
+                    attrs={"outcome": "fenced-abort"},
+                )
             self.network.send(
                 self.name,
                 request.origin,
@@ -580,6 +589,12 @@ class Certifier:
         if conflict_version is not None:
             self.abort_count += 1
             self._aborted_requests.add(request.request_id)
+            if traced:
+                TRACER.record(
+                    "certifier.certify", self.name, trace_start, self.env.now,
+                    request_id=request.request_id, txn_id=request.txn_id,
+                    attrs={"outcome": "conflict", "conflict_with": conflict_version},
+                )
             reply = CertifyReply(
                 txn_id=request.txn_id,
                 request_id=request.request_id,
@@ -596,6 +611,17 @@ class Certifier:
             request_id=request.request_id,
         )
         self.log.append(entry)
+        if traced:
+            TRACER.link_version(version, request.txn_id, request.request_id)
+            TRACER.record(
+                "certifier.certify", self.name, trace_start, self.env.now,
+                request_id=request.request_id, txn_id=request.txn_id,
+                commit_version=version, attrs={"outcome": "commit"},
+            )
+            TRACER.instant(
+                "certifier.log_append", self.name, self.env.now,
+                commit_version=version,
+            )
         if self._index is not None:
             self._index.record(version, request.writeset)
         if self.digest_tracker is not None:
@@ -661,14 +687,24 @@ class Certifier:
             checked_tables |= {table for table, _key in request.readset}
         involved = self.partition_map.partitions_for(checked_tables)
         cross = len(involved) > 1
+        traced = TRACER.enabled and TRACER.is_sampled(request.request_id)
         grants: list = []
         try:
             for p in involved:
                 grant = self.shards[p].service.request()
                 if cross and not grant.triggered:
                     self.cross_shard_stalls += 1
+                acquire_start = self.env.now if traced else 0.0
                 yield grant
                 grants.append((p, grant))
+                if traced:
+                    TRACER.record(
+                        f"certifier.shard.{p}.acquire", self.name,
+                        acquire_start, self.env.now,
+                        request_id=request.request_id, txn_id=request.txn_id,
+                        attrs={"cross_partition": cross},
+                    )
+            trace_start = self.env.now if traced else 0.0
             yield self.env.timeout(self.perf.certify(len(request.writeset)))
             if self.halted:
                 # Crashed mid-certification: the decision was never made.
@@ -681,6 +717,13 @@ class Certifier:
                 self.abort_count += 1
                 self.fenced_aborts += 1
                 self._aborted_requests.add(request.request_id)
+                if traced:
+                    TRACER.record(
+                        "certifier.certify_partitioned", self.name,
+                        trace_start, self.env.now,
+                        request_id=request.request_id, txn_id=request.txn_id,
+                        attrs={"outcome": "fenced-abort"},
+                    )
                 self.network.send(
                     self.name,
                     request.origin,
@@ -698,6 +741,13 @@ class Certifier:
                 for p in involved:
                     self.shards[p].abort_count += 1
                 self._aborted_requests.add(request.request_id)
+                if traced:
+                    TRACER.record(
+                        "certifier.certify_partitioned", self.name,
+                        trace_start, self.env.now,
+                        request_id=request.request_id, txn_id=request.txn_id,
+                        attrs={"outcome": "conflict", "conflict_with": conflict_version},
+                    )
                 self.network.send(
                     self.name,
                     request.origin,
@@ -711,6 +761,14 @@ class Certifier:
                 )
                 return
             self._commit_partitioned(request, cross)
+            if traced:
+                TRACER.record(
+                    "certifier.certify_partitioned", self.name,
+                    trace_start, self.env.now,
+                    request_id=request.request_id, txn_id=request.txn_id,
+                    commit_version=self._request_index[request.request_id],
+                    attrs={"outcome": "commit", "cross_partition": cross},
+                )
         finally:
             for p, grant in reversed(grants):
                 self.shards[p].service.release(grant)
@@ -772,6 +830,13 @@ class Certifier:
             self.shards[p].certified_count += 1
             shard_entries.append((p, entry))
         self._global_version = version
+        if TRACER.enabled and TRACER.is_sampled(request.request_id):
+            TRACER.link_version(version, request.txn_id, request.request_id)
+            TRACER.instant(
+                "certifier.log_append", self.name, self.env.now,
+                commit_version=version,
+                attrs={"shards": list(write_parts)},
+            )
         if self.digest_tracker is not None:
             self.digest_tracker.apply(request.writeset, version)
         self.certified_count += 1
@@ -821,6 +886,12 @@ class Certifier:
         self._unreleased.discard(version)
         if self.halted:
             return
+        if TRACER.enabled and TRACER.version_sampled(version):
+            TRACER.instant(
+                "certifier.release", self.name, self.env.now,
+                commit_version=version,
+                attrs={"fanout": max(0, len(self.replica_names) - 1)},
+            )
         self.network.send(self.name, request.origin, reply)
         from .messages import RefreshWriteset  # local import avoids cycle noise
 

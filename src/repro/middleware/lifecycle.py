@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Optional, TYPE_CHECKING
 
 from ..metrics.stages import StageTimings
+from ..metrics.tracing import TRACER
 from ..sim.kernel import Event
 from ..storage.errors import StorageError, TransactionAborted
 from .context import TxnContext
@@ -113,23 +114,30 @@ class TxnLifecycle:
         self.proxy.executed_count += 1
         stages = self.stages
         env = self.proxy.env
+        traced = TRACER.enabled and TRACER.is_sampled(self.request.request_id)
         try:
             start = env._now
             try:
                 yield from self._stage_version()
             finally:
                 stages.version = env._now - start
+                if traced:
+                    self._trace_stage("version", start, env._now)
             start = env._now
             try:
                 yield from self._stage_queries()
             finally:
                 stages.queries = env._now - start
+                if traced:
+                    self._trace_stage("queries", start, env._now)
             if self.txn.is_read_only:
                 start = env._now
                 try:
                     yield from self._stage_commit_read_only()
                 finally:
                     stages.commit = env._now - start
+                    if traced:
+                        self._trace_stage("commit", start, env._now)
             else:
                 self._final_doom_check()
                 start = env._now
@@ -137,27 +145,47 @@ class TxnLifecycle:
                     yield from self._stage_certify()
                 finally:
                     stages.certify = env._now - start
+                    if traced:
+                        self._trace_stage("certify", start, env._now)
                 start = env._now
                 try:
                     yield from self._stage_sync()
                 finally:
                     stages.sync = env._now - start
+                    if traced:
+                        self._trace_stage("sync", start, env._now)
                 start = env._now
                 try:
                     yield from self._stage_commit()
                 finally:
                     stages.commit = env._now - start
+                    if traced:
+                        self._trace_stage("commit", start, env._now)
                 if self.proxy.policy.waits_for_global_commit:
                     start = env._now
                     try:
                         yield from self._stage_global()
                     finally:
                         stages.global_ = env._now - start
+                        if traced:
+                            self._trace_stage("global", start, env._now)
             self._respond(committed=True)
         except StageAbort as abort:
             self._exit_abort(abort)
         except ReplicaCrashed:
             self._exit_crashed()
+
+    def _trace_stage(self, stage: str, start: float, end: float) -> None:
+        """Record one pipeline-stage span (called only for sampled txns)."""
+        TRACER.record(
+            f"proxy.{stage}",
+            self.proxy.name,
+            start,
+            end,
+            request_id=self.request.request_id,
+            txn_id=self.txn.txn_id if self.txn is not None else None,
+            commit_version=self.commit_version,
+        )
 
     # -- stages ---------------------------------------------------------------
     def _stage_version(self):

@@ -37,6 +37,7 @@ from ..core.partition import PartitionMap
 from ..core.policy import resolve_policy
 from ..core.versions import VersionTracker
 from ..histories.records import RunHistory, TxnRecord
+from ..metrics.tracing import TRACER
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from .heartbeat import HeartbeatMonitor, HeartbeatSettings
@@ -332,6 +333,10 @@ class LoadBalancer:
     def _dispatch(self, request: ClientRequest) -> None:
         template = self._template_for(request.template)
         read_only = not template.is_update
+        if TRACER.enabled:
+            # The sampling decision for the whole transaction happens here,
+            # at the one choke point every client request flows through.
+            TRACER.sample(request.request_id)
         if self.overload is not None:
             self._admit(request, read_only)
             return
@@ -361,6 +366,16 @@ class LoadBalancer:
         self._outstanding[request.request_id] = entry
         self._active_count[replica] += 1
         self.dispatched_count += 1
+        if TRACER.enabled and TRACER.is_sampled(request.request_id):
+            TRACER.span_since(
+                request.request_id, "lb.queue", self.name, self.env.now,
+                attrs={"replica": replica},
+            )
+            TRACER.instant(
+                "lb.dispatch", self.name, self.env.now,
+                request_id=request.request_id,
+                attrs={"replica": replica, "start_version": start_version},
+            )
         self.network.send(self.name, replica, RoutedRequest(request, start_version))
         self._arm_deadline(request.request_id, 1)
 
@@ -391,6 +406,9 @@ class LoadBalancer:
                 self._shed(request, "deadline unreachable at current depth",
                            deadline=True)
                 return
+        if TRACER.enabled and TRACER.is_sampled(request.request_id):
+            # Admission queueing: the interval closes at dispatch (or shed).
+            TRACER.mark(request.request_id, "lb.queue", self.env.now)
         queue.append((request, read_only))
         self._update_valve()
 
@@ -402,6 +420,16 @@ class LoadBalancer:
             self.deadline_shed_count += 1
         else:
             self.shed_count += 1
+        if TRACER.enabled and TRACER.is_sampled(request.request_id):
+            TRACER.span_since(
+                request.request_id, "lb.queue", self.name, self.env.now,
+                attrs={"shed": True},
+            )
+            TRACER.instant(
+                "lb.shed", self.name, self.env.now,
+                request_id=request.request_id,
+                attrs={"why": why, "deadline": deadline},
+            )
         self.network.record_drop("overload-shed")
         self.network.send(
             self.name,
@@ -607,6 +635,17 @@ class LoadBalancer:
         )
         request = replace(entry.request, request_id=next_request_id())
         lineage.append(request.request_id)
+        if TRACER.enabled:
+            TRACER.alias(old_request_id, request.request_id)
+            if TRACER.is_sampled(request.request_id):
+                TRACER.instant(
+                    "lb.retry", self.name, self.env.now,
+                    request_id=request.request_id,
+                    attrs={
+                        "previous_request_id": old_request_id,
+                        "attempt": entry.attempts + 1,
+                    },
+                )
         entry.request = request
         entry.replica = replica
         entry.attempts += 1
@@ -705,6 +744,16 @@ class LoadBalancer:
 
         self.policy.observe_response(self.tracker, response)
         self.relayed_count += 1
+        if TRACER.enabled and TRACER.is_sampled(response.request_id):
+            TRACER.instant(
+                "lb.relay", self.name, self.env.now,
+                request_id=response.request_id,
+                commit_version=response.commit_version,
+                attrs={
+                    "committed": response.committed,
+                    "client_request_id": client_request.request_id,
+                },
+            )
         self.network.send(
             self.name,
             client_request.reply_to,

@@ -25,6 +25,7 @@ from typing import Any, Optional
 
 from ..core.partition import PartitionMap
 from ..core.policy import resolve_policy
+from ..metrics.tracing import TRACER
 from ..sim.kernel import Environment, Event
 from ..sim.network import Mailbox, Network
 from ..sim.resources import Resource
@@ -686,6 +687,14 @@ class ReplicaProxy:
     def _install_refresh(self, writeset, version: int) -> None:
         """Install one refresh writeset, honouring an armed corruption fault
         (``FaultInjector.skip_refresh`` / ``double_apply_refresh``)."""
+        if TRACER.enabled and TRACER.version_sampled(version):
+            # Every apply path funnels through here — the in-order applier,
+            # the batched run, the partitioned applier and recovery/catch-up
+            # replay — so this is the one refresh-apply trace point.
+            TRACER.instant(
+                "refresh.apply", self.name, self.env.now,
+                commit_version=version, attrs={"ops": len(writeset)},
+            )
         mode = self._corrupt_next_refresh
         if mode is not None:
             self._corrupt_next_refresh = None

@@ -415,6 +415,16 @@ class Environment:
         """Current virtual time in milliseconds."""
         return self._now
 
+    def metrics(self) -> dict:
+        """Kernel counters for the cluster's metrics registry
+        (``kernel.events_processed``, ``kernel.immediate_scheduled``, …)."""
+        return {
+            "now_ms": self._now,
+            "events_processed": self.events_processed,
+            "immediate_scheduled": self.immediate_scheduled,
+            "queue_depth": len(self._queue) + len(self._immediate),
+        }
+
     @property
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""

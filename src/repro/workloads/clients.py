@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..metrics.collector import MetricsCollector, TxnSample
+from ..metrics.tracing import TRACER
 from ..middleware.messages import ClientRequest, next_request_id
 from ..middleware.overload import RetryBudget
 from ..sim.kernel import Environment, Event
@@ -137,6 +138,18 @@ class ClientPool:
                 self.network.send(client_id, self.balancer_name, request)
                 response = yield mailbox.receive()
                 self.completed += 1
+                if TRACER.enabled and TRACER.is_sampled(request.request_id):
+                    # The end-to-end client span: submit → acknowledgment.
+                    TRACER.record(
+                        "client.request", client_id, submit_time, self.env.now,
+                        request_id=request.request_id,
+                        commit_version=response.commit_version,
+                        attrs={
+                            "template": call.template,
+                            "committed": response.committed,
+                            "attempt": attempts,
+                        },
+                    )
                 self.collector.record(
                     TxnSample(
                         template=call.template,
@@ -334,6 +347,17 @@ class OpenLoopLoad:
                 delay = max(delay, response.retry_after_ms)
             yield self.env.timeout(delay)
         self.completed += 1
+        if TRACER.enabled and TRACER.is_sampled(request.request_id):
+            TRACER.record(
+                "client.request", session_id, first_submit, self.env.now,
+                request_id=request.request_id,
+                commit_version=response.commit_version,
+                attrs={
+                    "template": call.template,
+                    "committed": response.committed,
+                    "attempt": attempts,
+                },
+            )
         self.collector.record(
             TxnSample(
                 template=call.template,

@@ -1,0 +1,251 @@
+"""Unit tests for the per-transaction tracer (repro.metrics.tracing)."""
+
+import json
+
+import pytest
+
+from repro.metrics.tracing import TRACER, Span, Tracer, trace_invariant_report
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    """The module-level TRACER must never leak state across tests."""
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+
+
+def _make_tracer(**kwargs) -> Tracer:
+    tracer = Tracer()
+    tracer.configure(**kwargs)
+    tracer.enable()
+    return tracer
+
+
+class TestSpan:
+    def test_duration_and_dict(self):
+        span = Span("proxy.certify", "replica-0", 10.0, 12.5,
+                    request_id=3, txn_id=7, commit_version=2,
+                    attrs={"outcome": "commit"})
+        assert span.duration == 2.5
+        d = span.to_dict()
+        assert d["name"] == "proxy.certify"
+        assert d["component"] == "replica-0"
+        assert d["commit_version"] == 2
+        assert d["attrs"] == {"outcome": "commit"}
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_in_the_request_id(self):
+        a = _make_tracer(sample_rate=0.3)
+        b = _make_tracer(sample_rate=0.3)
+        decisions_a = [a.sample(i) for i in range(500)]
+        decisions_b = [b.sample(i) for i in range(500)]
+        assert decisions_a == decisions_b
+        assert 0 < sum(decisions_a) < 500  # neither all nor none at 0.3
+
+    def test_rate_one_samples_everything_rate_zero_nothing(self):
+        full = _make_tracer(sample_rate=1.0)
+        assert all(full.sample(i) for i in range(100))
+        none = _make_tracer(sample_rate=0.0)
+        assert not any(none.sample(i) for i in range(100))
+
+    def test_alias_propagates_sampling_to_retries(self):
+        tracer = _make_tracer(sample_rate=1.0)
+        tracer.sample(1)
+        tracer.alias(1, 2)
+        assert tracer.is_sampled(2)
+
+    def test_configure_validates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.configure(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            tracer.configure(capacity=0)
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_the_buffer_and_counts_drops(self):
+        tracer = _make_tracer(capacity=10)
+        for i in range(25):
+            tracer.record("stage", "c", float(i), float(i) + 1.0, request_id=i)
+        assert len(tracer) == 10
+        assert tracer.dropped == 15
+        # oldest spans were evicted first
+        assert tracer.spans[0].start == 15.0
+
+    def test_reset_clears_everything(self):
+        tracer = _make_tracer(capacity=10)
+        tracer.sample(1)
+        tracer.record("s", "c", 0.0, 1.0, request_id=1)
+        tracer.link_version(5, 2, 1)
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert not tracer.is_sampled(1)
+        assert not tracer.version_sampled(5)
+
+
+class TestVersionLinks:
+    def test_record_autofills_ids_from_version_link(self):
+        tracer = _make_tracer()
+        tracer.sample(4)
+        tracer.link_version(9, 42, 4)
+        tracer.record("refresh.apply", "replica-1", 5.0, 5.0, commit_version=9)
+        span = tracer.spans[-1]
+        assert span.txn_id == 42
+        assert span.request_id == 4
+
+    def test_marks_pair_into_spans(self):
+        tracer = _make_tracer()
+        tracer.mark(7, "lb.queue", 3.0)
+        tracer.span_since(7, "lb.queue", "lb", 4.5, attrs={"replica": "r0"})
+        span = tracer.spans[-1]
+        assert span.name == "lb.queue"
+        assert span.start == 3.0 and span.end == 4.5
+        # a second pop for the same mark is a no-op, not an error
+        tracer.span_since(7, "lb.queue", "lb", 9.0)
+        assert len(tracer) == 1
+
+
+class TestQueries:
+    def _populate(self, tracer):
+        tracer.sample(1)
+        tracer.record("lb.dispatch", "lb", 0.0, 0.0, request_id=1)
+        tracer.record("proxy.queries", "replica-0", 1.0, 3.0,
+                      request_id=1, txn_id=10)
+        tracer.link_version(1, 10, 1)
+        tracer.record("certifier.certify", "certifier", 3.0, 4.0,
+                      request_id=1, txn_id=10, commit_version=1)
+        tracer.record("refresh.apply", "replica-1", 6.0, 6.0, commit_version=1)
+
+    def test_spans_for_txn_includes_pre_txn_and_version_linked_spans(self):
+        tracer = _make_tracer()
+        self._populate(tracer)
+        names = {s.name for s in tracer.spans_for_txn(10)}
+        assert names == {"lb.dispatch", "proxy.queries",
+                         "certifier.certify", "refresh.apply"}
+
+    def test_spans_for_version(self):
+        tracer = _make_tracer()
+        self._populate(tracer)
+        names = {s.name for s in tracer.spans_for_version(1)}
+        assert "certifier.certify" in names and "refresh.apply" in names
+
+    def test_critical_path_is_time_ordered(self):
+        tracer = _make_tracer()
+        self._populate(tracer)
+        path = tracer.critical_path(10)
+        starts = [s.start for s in path]
+        assert starts == sorted(starts)
+
+    def test_stage_histograms_and_totals(self):
+        tracer = _make_tracer()
+        self._populate(tracer)
+        hist = tracer.stage_histograms()
+        assert hist["proxy.queries"]["count"] == 1
+        assert hist["proxy.queries"]["total"] == pytest.approx(2.0)
+        totals = tracer.stage_totals()
+        assert totals["certifier.certify"] == pytest.approx(1.0)
+
+
+class TestExporters:
+    def test_chrome_trace_is_valid_and_loadable(self, tmp_path):
+        tracer = _make_tracer()
+        tracer.sample(1)
+        tracer.record("proxy.commit", "replica-0", 1.0, 2.0, request_id=1)
+        tracer.instant("certifier.release", "certifier", 2.0, request_id=1)
+        out = tmp_path / "trace.json"
+        tracer.export_chrome(str(out))
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert "X" in phases and "i" in phases and "M" in phases
+        complete = next(e for e in events if e["ph"] == "X")
+        assert complete["dur"] == pytest.approx(1000.0)  # ms -> us
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        tracer = _make_tracer()
+        tracer.sample(1)
+        tracer.record("proxy.commit", "replica-0", 1.0, 2.0, request_id=1)
+        out = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(out))
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["name"] == "proxy.commit"
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        tracer.record("s", "c", 0.0, 1.0, request_id=1)
+        tracer.instant("i", "c", 0.0, request_id=1)
+        assert len(tracer) == 0
+
+    def test_hooks_never_call_record_when_disabled(self, monkeypatch):
+        """Run a real cluster with tracing off; any tracer mutation at all
+        is a structural regression of the zero-overhead contract."""
+        def _bomb(*args, **kwargs):  # pragma: no cover - should never run
+            raise AssertionError("TRACER touched while disabled")
+
+        for method in ("record", "instant", "sample", "mark",
+                       "span_since", "link_version", "alias", "new_run"):
+            monkeypatch.setattr(Tracer, method, _bomb)
+
+        from repro.core.cluster import ClusterConfig, ReplicatedDatabase
+        from repro.workloads import MicroBenchmark
+
+        cluster = ReplicatedDatabase(
+            MicroBenchmark(update_types=5, rows_per_table=50),
+            ClusterConfig(num_replicas=2, seed=3),
+        )
+        cluster.add_clients(3)
+        cluster.env.run(until=300.0)
+        assert len(TRACER) == 0
+
+
+class TestInvariantChecker:
+    def _spans_for(self, version, appliers=("replica-1", "replica-2"),
+                   certs=1):
+        spans = []
+        for _ in range(certs):
+            spans.append(Span("certifier.certify", "certifier", 0.0, 1.0,
+                              commit_version=version))
+        for name in appliers:
+            spans.append(Span("refresh.apply", name, 2.0, 2.0,
+                              commit_version=version))
+        return spans
+
+    def test_clean_trace_passes(self):
+        spans = self._spans_for(1) + self._spans_for(2)
+        report = trace_invariant_report(spans, expected_refresh_appliers=2)
+        assert report["versions"] == 2
+        assert report["violations"] == []
+
+    def test_missing_applier_is_flagged(self):
+        spans = self._spans_for(1, appliers=("replica-1",))
+        report = trace_invariant_report(spans, expected_refresh_appliers=2)
+        assert any("refresh" in v for v in report["violations"])
+
+    def test_duplicate_applier_is_flagged(self):
+        spans = self._spans_for(1, appliers=("replica-1", "replica-1"))
+        report = trace_invariant_report(spans, expected_refresh_appliers=2)
+        assert report["violations"]
+
+    def test_double_certification_is_flagged(self):
+        spans = self._spans_for(1, certs=2)
+        report = trace_invariant_report(spans, expected_refresh_appliers=2)
+        assert any("certification" in v for v in report["violations"])
+
+    def test_up_to_version_excludes_in_flight_commits(self):
+        spans = self._spans_for(1) + [
+            Span("certifier.certify", "certifier", 5.0, 6.0, commit_version=2)
+        ]  # version 2 committed but refresh still in flight
+        report = trace_invariant_report(
+            spans, expected_refresh_appliers=2, up_to_version=1
+        )
+        assert report["versions"] == 1
+        assert report["violations"] == []

@@ -38,6 +38,35 @@ class TestParser:
         assert "sc-coarse" in err
         assert "bounded" in err
 
+    def test_observability_flags_accepted_before_or_after_the_command(self):
+        parser = build_parser()
+        for argv in (
+            ["--profile", "table1"],
+            ["table1", "--profile"],
+            ["fig5", "--trace", "out.json"],
+            ["--trace", "out.json", "fig5"],
+            ["nemesis", "--stats"],
+            ["--stats", "audit"],
+            ["fig5", "--trace", "out.json", "--trace-sample-rate", "0.25"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command in {"table1", "fig5", "nemesis", "audit"}
+
+    def test_every_subcommand_accepts_the_shared_flags(self):
+        parser = build_parser()
+        for command in ("table1", "fig3", "fig4", "fig5", "fig6", "fig7",
+                        "audit", "availability", "saturation", "nemesis",
+                        "scrub", "membership", "all", "levels"):
+            args = parser.parse_args([command, "--profile", "--stats"])
+            assert getattr(args, "profile", False) is True
+            assert getattr(args, "stats", False) is True
+
+    def test_flag_defaults_are_suppressed_not_false(self):
+        args = build_parser().parse_args(["table1"])
+        assert not hasattr(args, "profile")
+        assert not hasattr(args, "trace")
+        assert not hasattr(args, "stats")
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -93,3 +122,40 @@ class TestCommands:
         ])
         out = capsys.readouterr().out
         assert "strong consistency (observational): False" in out
+
+
+class TestObservability:
+    def test_audit_trace_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        code = main([
+            "audit", "--replicas", "2", "--clients", "4",
+            "--duration-ms", "300", "--trace", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and str(out_file) in out
+        doc = json.loads(out_file.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "proxy.certify" in names
+        assert "refresh.apply" in names
+
+    def test_stats_flag_prints_registry_report(self, capsys):
+        code = main([
+            "audit", "--replicas", "2", "--clients", "4",
+            "--duration-ms", "300", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "V_commit" in out
+        assert "commit pipeline" in out
+        assert "replica-0" in out
+
+    def test_stats_without_a_cluster_degrades_gracefully(self, capsys):
+        from repro.metrics import registry as registry_module
+
+        registry_module._set_latest(None)
+        assert main(["levels", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "no cluster was built" in out
